@@ -1,0 +1,196 @@
+// Command stkde computes a space-time kernel density estimate from a CSV of
+// events and writes the resulting density volume in one or more formats.
+//
+// Usage:
+//
+//	stkde -in events.csv -hs 500 -ht 7 -sres 50 -tres 1 \
+//	      -algo pb-sym-pd-sched -threads 8 \
+//	      -out density.bin -vtk density.vtk -png heat -png-slices 4
+//
+// The domain defaults to the bounding box of the input events (with a
+// bandwidth margin); pass -domain to fix it explicitly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/stkde"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stkde:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in        = flag.String("in", "", "input CSV of events (x,y,t); required")
+		algo      = flag.String("algo", stkde.AlgPBSYM, "algorithm: "+strings.Join(stkde.Algorithms(), ", "))
+		auto      = flag.Bool("auto", false, "pick the algorithm with the parametric performance model")
+		threads   = flag.Int("threads", 0, "worker threads (0 = all cores)")
+		decomp    = flag.String("decomp", "", "subdomain decomposition AxBxC (e.g. 8x8x8)")
+		sres      = flag.Float64("sres", 1, "spatial resolution (domain units per voxel)")
+		tres      = flag.Float64("tres", 1, "temporal resolution (domain units per voxel)")
+		hs        = flag.Float64("hs", 0, "spatial bandwidth (required)")
+		ht        = flag.Float64("ht", 0, "temporal bandwidth (required)")
+		domain    = flag.String("domain", "", "domain as x0,y0,t0,gx,gy,gt (default: bounding box of events + bandwidth)")
+		budgetMB  = flag.Int64("budget-mb", 0, "memory budget in MB (0 = unlimited)")
+		kernelS   = flag.String("kernel-s", "", "spatial kernel (default epanechnikov2d)")
+		kernelT   = flag.String("kernel-t", "", "temporal kernel (default epanechnikov1d)")
+		out       = flag.String("out", "", "write binary grid snapshot to this file")
+		vtk       = flag.String("vtk", "", "write VTK structured-points file")
+		pngPrefix = flag.String("png", "", "write PNG heatmap slices named <prefix>_t<T>.png")
+		pngSlices = flag.Int("png-slices", 4, "number of evenly spaced PNG slices")
+	)
+	flag.Parse()
+	if *in == "" || *hs <= 0 || *ht <= 0 {
+		flag.Usage()
+		return fmt.Errorf("-in, -hs and -ht are required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	pts, err := stkde.ReadPointsCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(pts) == 0 {
+		return fmt.Errorf("no events in %s", *in)
+	}
+
+	dom, err := resolveDomain(*domain, pts, *hs, *ht)
+	if err != nil {
+		return err
+	}
+	spec, err := stkde.NewSpec(dom, *sres, *tres, *hs, *ht)
+	if err != nil {
+		return err
+	}
+
+	opt := stkde.Options{Threads: *threads}
+	if *decomp != "" {
+		if opt.Decomp, err = parseDecomp(*decomp); err != nil {
+			return err
+		}
+	}
+	if *budgetMB > 0 {
+		opt.Budget = stkde.NewBudget(*budgetMB << 20)
+	}
+	if opt.Spatial = stkde.SpatialKernelByName(*kernelS); opt.Spatial == nil {
+		return fmt.Errorf("unknown spatial kernel %q", *kernelS)
+	}
+	if opt.Temporal = stkde.TemporalKernelByName(*kernelT); opt.Temporal == nil {
+		return fmt.Errorf("unknown temporal kernel %q", *kernelT)
+	}
+
+	var res *stkde.Result
+	if *auto {
+		res, err = stkde.AutoEstimate(pts, spec, opt)
+	} else {
+		res, err = stkde.Estimate(*algo, pts, spec, opt)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("algorithm   %s\n", res.Algorithm)
+	fmt.Printf("events      %d\n", len(pts))
+	fmt.Printf("grid        %dx%dx%d voxels (%.1f MB)\n",
+		spec.Gx, spec.Gy, spec.Gt, float64(spec.Bytes())/1e6)
+	fmt.Printf("bandwidth   Hs=%d Ht=%d voxels\n", spec.Hs, spec.Ht)
+	fmt.Printf("phases      init=%v bin=%v plan=%v compute=%v reduce=%v (total %v)\n",
+		res.Phases.Init, res.Phases.Bin, res.Phases.Plan, res.Phases.Compute,
+		res.Phases.Reduce, res.Phases.Total())
+	maxV, X, Y, T := res.Grid.Max()
+	fmt.Printf("peak        %.6g at voxel (%d,%d,%d) = (%.6g, %.6g, %.6g)\n",
+		maxV, X, Y, T, spec.CenterX(X), spec.CenterY(Y), spec.CenterT(T))
+	fmt.Printf("mass        %.4f\n", res.Grid.Sum()*spec.SRes*spec.SRes*spec.TRes)
+
+	if *out != "" {
+		if err := writeFile(*out, func(f *os.File) error {
+			return stkde.WriteGridSnapshot(f, res.Grid)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote       %s\n", *out)
+	}
+	if *vtk != "" {
+		if err := writeFile(*vtk, func(f *os.File) error {
+			return stkde.WriteVTK(f, res.Grid, "stkde density")
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote       %s\n", *vtk)
+	}
+	if *pngPrefix != "" {
+		n := *pngSlices
+		if n < 1 {
+			n = 1
+		}
+		globalMax, _, _, _ := res.Grid.Max()
+		for i := 0; i < n; i++ {
+			T := (2*i + 1) * spec.Gt / (2 * n)
+			name := fmt.Sprintf("%s_t%04d.png", *pngPrefix, T)
+			if err := writeFile(name, func(f *os.File) error {
+				return stkde.WritePNGSlice(f, res.Grid, T, globalMax, 0.5)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("wrote       %s\n", name)
+		}
+	}
+	return nil
+}
+
+func resolveDomain(spec string, pts []stkde.Point, hs, ht float64) (stkde.Domain, error) {
+	if spec != "" {
+		var d stkde.Domain
+		if _, err := fmt.Sscanf(spec, "%f,%f,%f,%f,%f,%f",
+			&d.X0, &d.Y0, &d.T0, &d.GX, &d.GY, &d.GT); err != nil {
+			return d, fmt.Errorf("bad -domain %q: %w", spec, err)
+		}
+		return d, nil
+	}
+	minX, minY, minT := math.Inf(1), math.Inf(1), math.Inf(1)
+	maxX, maxY, maxT := math.Inf(-1), math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		minT, maxT = math.Min(minT, p.T), math.Max(maxT, p.T)
+	}
+	return stkde.Domain{
+		X0: minX - hs, Y0: minY - hs, T0: minT - ht,
+		GX: maxX - minX + 2*hs + 1e-9,
+		GY: maxY - minY + 2*hs + 1e-9,
+		GT: maxT - minT + 2*ht + 1e-9,
+	}, nil
+}
+
+func parseDecomp(s string) ([3]int, error) {
+	var d [3]int
+	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%dx%d", &d[0], &d[1], &d[2]); err != nil {
+		return d, fmt.Errorf("bad -decomp %q (want AxBxC): %w", s, err)
+	}
+	return d, nil
+}
+
+func writeFile(name string, fn func(*os.File) error) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

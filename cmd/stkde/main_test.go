@@ -1,0 +1,61 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"repro/stkde"
+)
+
+func TestParseDecomp(t *testing.T) {
+	d, err := parseDecomp("8x4x2")
+	if err != nil || d != [3]int{8, 4, 2} {
+		t.Fatalf("parseDecomp = %v, %v", d, err)
+	}
+	if d, err := parseDecomp("16X16X16"); err != nil || d != [3]int{16, 16, 16} {
+		t.Fatalf("case-insensitive parse failed: %v, %v", d, err)
+	}
+	for _, bad := range []string{"", "8", "8x4", "axbxc", "8,4,2"} {
+		if _, err := parseDecomp(bad); err == nil {
+			t.Errorf("parseDecomp(%q) should fail", bad)
+		}
+	}
+}
+
+func TestResolveDomainExplicit(t *testing.T) {
+	d, err := resolveDomain("1,2,3,10,20,30", nil, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stkde.Domain{X0: 1, Y0: 2, T0: 3, GX: 10, GY: 20, GT: 30}
+	if d != want {
+		t.Fatalf("domain = %+v, want %+v", d, want)
+	}
+	if _, err := resolveDomain("1,2,3", nil, 5, 5); err == nil {
+		t.Error("short domain spec should fail")
+	}
+}
+
+func TestResolveDomainFromPoints(t *testing.T) {
+	pts := []stkde.Point{
+		{X: 10, Y: 100, T: 5},
+		{X: 30, Y: 150, T: 8},
+	}
+	d, err := resolveDomain("", pts, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounding box padded by the bandwidths.
+	if math.Abs(d.X0-8) > 1e-9 || math.Abs(d.Y0-98) > 1e-9 || math.Abs(d.T0-4) > 1e-9 {
+		t.Errorf("origin = (%g,%g,%g)", d.X0, d.Y0, d.T0)
+	}
+	if d.GX < 24 || d.GY < 54 || d.GT < 5 {
+		t.Errorf("extents too small: %+v", d)
+	}
+	// Every point strictly inside.
+	for _, p := range pts {
+		if !d.Contains(p) {
+			t.Errorf("point %+v outside derived domain %+v", p, d)
+		}
+	}
+}

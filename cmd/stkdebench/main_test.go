@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,4,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, 16}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "a", "1,,2", "1;2"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) should fail", bad)
+		}
+	}
+}

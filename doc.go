@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of Saule, Panchananam,
+// Hohl, Tang and Delmelle, "Parallel Space-Time Kernel Density Estimation"
+// (ICPP 2017, arXiv:1705.09366).
+//
+// Import the public API from repro/stkde (estimation) and repro/synth
+// (synthetic datasets and the Table 2 benchmark catalog). The command-line
+// tools live under cmd/ and the paper's tables and figures are regenerated
+// by cmd/stkdebench and the benchmarks in bench_test.go.
+package repro

@@ -1,0 +1,59 @@
+// Quickstart: the smallest end-to-end use of the stkde public API.
+//
+// It generates a synthetic outbreak, computes the space-time kernel density
+// estimate with the default algorithm, and reports where and when the
+// density peaks.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/stkde"
+	"repro/synth"
+)
+
+func main() {
+	// A city-sized domain: 10 km x 8 km, one year, in meters and days.
+	domain := stkde.Domain{GX: 10000, GY: 8000, GT: 365}
+
+	// Synthetic disease cases (deterministic for a fixed seed).
+	events := synth.Epidemic{}.Generate(5000, domain, 42)
+
+	// Discretize at 100 m / 1 day, with 500 m and 7 day bandwidths.
+	spec, err := stkde.NewSpec(domain, 100, 1, 500, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid: %dx%dx%d voxels, bandwidths Hs=%d Ht=%d\n",
+		spec.Gx, spec.Gy, spec.Gt, spec.Hs, spec.Ht)
+
+	// Estimate. The zero Options use every core and the paper's kernels;
+	// PB-SYM is the fast sequential algorithm of Section 3.
+	res, err := stkde.Estimate(stkde.AlgPBSYM, events, spec, stkde.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("computed in %v (init %v, compute %v)\n",
+		res.Phases.Total(), res.Phases.Init, res.Phases.Compute)
+
+	// Where is the hottest space-time location?
+	v, X, Y, T := res.Grid.Max()
+	fmt.Printf("peak density %.3g at (%.0f m, %.0f m) on day %.0f\n",
+		v, spec.CenterX(X), spec.CenterY(Y), spec.CenterT(T))
+
+	// The estimate is a proper density: it integrates to ~1.
+	mass := res.Grid.Sum() * spec.SRes * spec.SRes * spec.TRes
+	fmt.Printf("total mass: %.3f (1.0 = perfect; boundary effects shave a little)\n", mass)
+
+	// The same result, computed in parallel with the scheduled point
+	// decomposition (Section 5) — identical densities, less wall-clock on
+	// multicore machines.
+	par, err := stkde.Estimate(stkde.AlgPBSYMPDSCHED, events, spec, stkde.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parallel run (%d threads): %v\n", par.Stats.Threads, par.Phases.Total())
+}

@@ -1,0 +1,71 @@
+// Socialmedia compares every parallel strategy on a PollenUS-style
+// workload: hundreds of thousands of geolocated posts on a moderate grid,
+// the compute-bound regime where the paper's scheduling machinery matters
+// most (Sections 4-6).
+//
+// Run with: go run ./examples/socialmedia
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/stkde"
+	"repro/synth"
+)
+
+func main() {
+	// Continental-scale domain in degrees-and-days (0.1 deg resolution),
+	// one pollen season.
+	domain := stkde.Domain{X0: -125, Y0: 25, T0: 0, GX: 58, GY: 24, GT: 90}
+	posts := synth.SocialMedia{}.Generate(60000, domain, 2016)
+
+	spec, err := stkde.NewSpec(domain, 0.1, 1, 1.5, 7) // hs=1.5 deg, ht=7 days
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d posts, grid %dx%dx%d, Hs=%d Ht=%d voxels\n",
+		len(posts), spec.Gx, spec.Gy, spec.Gt, spec.Hs, spec.Ht)
+
+	threads := runtime.GOMAXPROCS(0)
+	fmt.Printf("running every strategy with %d threads\n\n", threads)
+
+	baseline, err := stkde.Estimate(stkde.AlgPBSYM, posts, spec, stkde.Options{Threads: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := baseline.Phases.Total()
+	fmt.Printf("%-22s %12v  (sequential baseline)\n", stkde.AlgPBSYM, base)
+
+	ref := baseline.Grid
+	for _, alg := range stkde.ParallelAlgorithms() {
+		res, err := stkde.Estimate(alg, posts, spec, stkde.Options{
+			Threads: threads,
+			Decomp:  [3]int{8, 8, 8},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// All strategies compute the same density field.
+		var worst float64
+		for i := range ref.Data {
+			if d := abs(ref.Data[i] - res.Grid.Data[i]); d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("%-22s %12v  speedup %.2fx  (max |diff| vs baseline %.2g)\n",
+			alg, res.Phases.Total(), base.Seconds()/res.Phases.Total().Seconds(), worst)
+		if res.Stats.CriticalPathRel > 0 {
+			fmt.Printf("%22s critical path %.1f%% of total work, %d colors, %d cells\n",
+				"", res.Stats.CriticalPathRel*100, res.Stats.Colors, res.Stats.Cells)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

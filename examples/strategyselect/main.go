@@ -1,0 +1,92 @@
+// Strategyselect demonstrates the parametric performance model the paper's
+// conclusion asks for (Section 6.5): predict each strategy's runtime and
+// memory from the instance parameters, pick the best feasible one, and
+// validate the prediction against actual measurements.
+//
+// Run with: go run ./examples/strategyselect
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/stkde"
+	"repro/synth"
+)
+
+func main() {
+	threads := runtime.GOMAXPROCS(0)
+
+	scenarios := []struct {
+		name string
+		pts  []stkde.Point
+		spec stkde.Spec
+	}{
+		{name: "clustered epidemic (imbalanced)"},
+		{name: "sparse global surveillance (init-bound)"},
+		{name: "dense hotspots (compute-bound)"},
+	}
+
+	// Scenario 1: clustered epidemic.
+	d1 := stkde.Domain{GX: 200, GY: 200, GT: 120}
+	spec1, err := stkde.NewSpec(d1, 1, 1, 6, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenarios[0].pts = synth.Epidemic{Clusters: 4}.Generate(40000, d1, 7)
+	scenarios[0].spec = spec1
+
+	// Scenario 2: sparse global.
+	d2 := stkde.Domain{GX: 250, GY: 200, GT: 400}
+	spec2, err := stkde.NewSpec(d2, 1, 1, 2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenarios[1].pts = synth.SparseGlobal{}.Generate(4000, d2, 8)
+	scenarios[1].spec = spec2
+
+	// Scenario 3: dense hotspots.
+	d3 := stkde.Domain{GX: 150, GY: 120, GT: 90}
+	spec3, err := stkde.NewSpec(d3, 1, 1, 5, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenarios[2].pts = synth.Hotspot{}.Generate(120000, d3, 9)
+	scenarios[2].spec = spec3
+
+	for _, sc := range scenarios {
+		fmt.Printf("=== %s ===\n", sc.name)
+		fmt.Printf("n=%d, grid %dx%dx%d (%.0f MB)\n", len(sc.pts),
+			sc.spec.Gx, sc.spec.Gy, sc.spec.Gt, float64(sc.spec.Bytes())/1e6)
+
+		preds := stkde.PredictStrategies(sc.pts, sc.spec, threads, 0)
+		fmt.Println("model predictions (fastest first):")
+		for _, p := range preds {
+			mark := " "
+			if !p.Feasible {
+				mark = "x"
+			}
+			fmt.Printf("  %s %-22s %8.4fs  %6.0f MB\n", mark, p.Algorithm,
+				p.Seconds, float64(p.Bytes)/1e6)
+		}
+
+		// Run the model's pick and two alternatives; report measured times.
+		auto, err := stkde.AutoEstimate(sc.pts, sc.spec, stkde.Options{Threads: threads})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model picked %s: measured %v\n", auto.Algorithm, auto.Phases.Total())
+		for _, alg := range []string{stkde.AlgPBSYM, stkde.AlgPBSYMDR, stkde.AlgPBSYMPDSCHED} {
+			if alg == auto.Algorithm {
+				continue
+			}
+			res, err := stkde.Estimate(alg, sc.pts, sc.spec, stkde.Options{Threads: threads})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  alternative %-22s measured %v\n", alg, res.Phases.Total())
+		}
+		fmt.Println()
+	}
+}

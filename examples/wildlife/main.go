@@ -1,0 +1,95 @@
+// Wildlife contrasts the two extreme regimes of the paper's evaluation
+// using bird-observation workloads:
+//
+//   - a Flu-style instance (sparse points, huge grid) where memory
+//     initialization dominates and replicating the domain hurts — and can
+//     exhaust a memory budget outright (Figure 8's OOM entries), and
+//   - an eBird-style instance (dense points, modest grid) where compute
+//     dominates and replication-based strategies shine.
+//
+// Run with: go run ./examples/wildlife
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/stkde"
+	"repro/synth"
+)
+
+func main() {
+	threads := runtime.GOMAXPROCS(0)
+
+	fmt.Println("=== Flu-style: sparse global surveillance (init-bound) ===")
+	fluDomain := stkde.Domain{GX: 320, GY: 220, GT: 700}
+	flu := synth.SparseGlobal{}.Generate(8000, fluDomain, 2001)
+	fluSpec, err := stkde.NewSpec(fluDomain, 1, 1, 3, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d observations on a %dx%dx%d grid (%.0f MB)\n",
+		len(flu), fluSpec.Gx, fluSpec.Gy, fluSpec.Gt, float64(fluSpec.Bytes())/1e6)
+
+	res, err := stkde.Estimate(stkde.AlgPBSYM, flu, fluSpec, stkde.Options{Threads: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	initFrac := res.Phases.Init.Seconds() / res.Phases.Total().Seconds()
+	fmt.Printf("PB-SYM: %v total, %.0f%% spent initializing memory (Figure 7's tall blue bars)\n",
+		res.Phases.Total(), initFrac*100)
+
+	// Domain replication multiplies exactly that dominant cost — and with
+	// a budget sized like the paper's 128 GB machine (relative to the
+	// grid), it simply does not fit.
+	budget := stkde.NewBudget(3 * fluSpec.Bytes())
+	_, err = stkde.Estimate(stkde.AlgPBSYMDR, flu, fluSpec, stkde.Options{
+		Threads: threads, Budget: budget,
+	})
+	if errors.Is(err, stkde.ErrMemoryBudget) {
+		fmt.Printf("PB-SYM-DR with %d threads: OOM under a 3-grid budget (as in Figures 8/14)\n", threads)
+	} else if err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Println("PB-SYM-DR fit (increase threads to reproduce the paper's OOM)")
+	}
+
+	dd, err := stkde.Estimate(stkde.AlgPBSYMDD, flu, fluSpec, stkde.Options{
+		Threads: threads, Decomp: [3]int{8, 8, 8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PB-SYM-DD keeps one grid: %v (speedup limited by init, like the paper's ~3x)\n\n",
+		dd.Phases.Total())
+
+	fmt.Println("=== eBird-style: dense hotspots (compute-bound) ===")
+	birdDomain := stkde.Domain{GX: 360, GY: 180, GT: 365}
+	birds := synth.Hotspot{}.Generate(150000, birdDomain, 2016)
+	birdSpec, err := stkde.NewSpec(birdDomain, 1, 1, 6, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d observations on a %dx%dx%d grid (%.0f MB)\n",
+		len(birds), birdSpec.Gx, birdSpec.Gy, birdSpec.Gt, float64(birdSpec.Bytes())/1e6)
+
+	seq, err := stkde.Estimate(stkde.AlgPBSYM, birds, birdSpec, stkde.Options{Threads: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PB-SYM sequential: %v (%.0f%% compute)\n", seq.Phases.Total(),
+		100*seq.Phases.Compute.Seconds()/seq.Phases.Total().Seconds())
+
+	for _, alg := range []string{stkde.AlgPBSYMDR, stkde.AlgPBSYMPDSCHEDREP} {
+		res, err := stkde.Estimate(alg, birds, birdSpec, stkde.Options{
+			Threads: threads, Decomp: [3]int{16, 16, 16},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %v, speedup %.2fx\n", alg, res.Phases.Total(),
+			seq.Phases.Total().Seconds()/res.Phases.Total().Seconds())
+	}
+}

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// quickCfg keeps harness tests fast: tiny scale, two small instances,
+// small sweeps.
+func quickCfg(out *bytes.Buffer) Config {
+	return Config{
+		Scale:      0.06,
+		Threads:    []int{1, 2},
+		MaxThreads: 2,
+		Decomps:    [][3]int{{1, 1, 1}, {2, 2, 2}, {4, 4, 4}},
+		Instances:  []string{"Dengue_Lr-Lb", "PollenUS_Lr-Lb"},
+		Out:        out,
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	if len(Experiments()) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(Experiments()))
+	}
+	var out bytes.Buffer
+	for _, exp := range Experiments() {
+		if exp == "fig15" || exp == "fig14" {
+			continue // covered by dedicated tests below (slower)
+		}
+		rep, err := Run(exp, quickCfg(&out))
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if rep.Exp != exp {
+			t.Errorf("report id %q, want %q", rep.Exp, exp)
+		}
+		if len(rep.Rows) == 0 {
+			t.Errorf("%s produced no rows", exp)
+		}
+	}
+	if out.Len() == 0 {
+		t.Error("no formatted output produced")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", Config{}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestUnknownInstance(t *testing.T) {
+	cfg := Config{Instances: []string{"NotAnInstance"}}
+	if _, err := Run("fig7", cfg); err == nil {
+		t.Fatal("expected error for unknown instance")
+	}
+}
+
+func TestTable3SkipsExpensiveVB(t *testing.T) {
+	var out bytes.Buffer
+	cfg := quickCfg(&out)
+	cfg.VBOpsLimit = 1 // force skip
+	rep, err := Run("table3", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if r.Algo == core.AlgVB || r.Algo == core.AlgVBDEC {
+			t.Errorf("VB-family row should have been skipped: %+v", r)
+		}
+	}
+	// PB family always runs.
+	seen := map[string]bool{}
+	for _, r := range rep.Rows {
+		seen[r.Algo] = true
+	}
+	for _, alg := range []string{core.AlgPB, core.AlgPBDISK, core.AlgPBBAR, core.AlgPBSYM} {
+		if !seen[alg] {
+			t.Errorf("missing rows for %s", alg)
+		}
+	}
+}
+
+func TestTable3Speedups(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := Run("table3", quickCfg(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 3's headline: VB costs orders of magnitude more than PB.
+	times := map[string]map[string]float64{}
+	for _, r := range rep.Rows {
+		if times[r.Instance] == nil {
+			times[r.Instance] = map[string]float64{}
+		}
+		times[r.Instance][r.Algo] = r.Seconds
+	}
+	for inst, tm := range times {
+		vb, okVB := tm[core.AlgVB]
+		pb, okPB := tm[core.AlgPB]
+		if okVB && okPB && vb < pb {
+			t.Errorf("%s: VB (%.4fs) unexpectedly faster than PB (%.4fs)", inst, vb, pb)
+		}
+	}
+	if !strings.Contains(out.String(), "Table 3") {
+		t.Error("missing table banner")
+	}
+}
+
+func TestFig7Fractions(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := Run("fig7", quickCfg(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		f := r.Extra["init_frac"]
+		if f < 0 || f > 1 {
+			t.Errorf("%s init fraction %g outside [0,1]", r.Instance, f)
+		}
+	}
+}
+
+func TestFig8OOMWithTinyBudget(t *testing.T) {
+	var out bytes.Buffer
+	cfg := quickCfg(&out)
+	cfg.Instances = []string{"Flu_Lr-Lb"}
+	cfg.Budget = 64 << 10 // 64 KB: holds one scaled grid but not replicas
+	rep, err := Run("fig8", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundOOM := false
+	for _, r := range rep.Rows {
+		if r.OOM {
+			foundOOM = true
+		}
+	}
+	if !foundOOM {
+		t.Error("expected OOM rows under a 1MB budget")
+	}
+	if !strings.Contains(out.String(), "OOM") {
+		t.Error("OOM not rendered in the table")
+	}
+}
+
+func TestFig12CriticalPathColumns(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := Run("fig12", quickCfg(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byInstance := map[string]map[string]float64{}
+	for _, r := range rep.Rows {
+		if byInstance[r.Instance] == nil {
+			byInstance[r.Instance] = map[string]float64{}
+		}
+		byInstance[r.Instance][r.Algo] = r.Extra["cp_rel"]
+	}
+	for inst, m := range byInstance {
+		pd, okPD := m[core.AlgPBSYMPD]
+		sch, okSch := m[core.AlgPBSYMPDSCHED]
+		if !okPD || !okSch {
+			t.Fatalf("%s: missing variants: %v", inst, m)
+		}
+		if pd <= 0 || pd > 1 || sch <= 0 || sch > 1 {
+			t.Errorf("%s: cp_rel out of range: pd=%g sched=%g", inst, pd, sch)
+		}
+	}
+}
+
+func TestFig15PicksWinners(t *testing.T) {
+	var out bytes.Buffer
+	cfg := quickCfg(&out)
+	cfg.Instances = []string{"Dengue_Lr-Lb"}
+	cfg.Decomps = [][3]int{{2, 2, 2}, {4, 4, 4}}
+	rep, err := Run("fig15", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := map[string]bool{}
+	for _, r := range rep.Rows {
+		algos[r.Algo] = true
+	}
+	for _, alg := range []string{core.AlgPBSYMDR, core.AlgPBSYMDD, core.AlgPBSYMPD,
+		core.AlgPBSYMPDSCHED, core.AlgPBSYMPDSCHREP} {
+		if !algos[alg] {
+			t.Errorf("fig15 missing strategy %s", alg)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rep := &Report{Exp: "x", Rows: []Row{
+		{Instance: "A", Algo: "pb", Decomp: [3]int{2, 2, 2}, Threads: 4,
+			Seconds: 1.5, Speedup: 2, Extra: map[string]float64{"z": 1, "a": 2}},
+		{Instance: "B", Algo: "vb", OOM: true},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "instance,algo,decomp,threads,seconds,speedup,oom,a,z" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "A,pb,2x2x2,4,1.5,2,false,2,1") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "true") {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 0.15 || c.MaxThreads < 1 || len(c.Decomps) != 7 || c.VBOpsLimit != 2e9 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+}

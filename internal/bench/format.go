@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// table accumulates aligned text output for one experiment.
+type table struct {
+	w       io.Writer
+	headers []string
+	rows    [][]string
+}
+
+func newTable(w io.Writer, headers ...string) *table {
+	return &table{w: w, headers: headers}
+}
+
+func (t *table) row(cells ...string) {
+	for len(cells) < len(t.headers) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// flush renders the table with a title banner.
+func (t *table) flush(title string, cfg Config) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n== %s ==\n", title)
+	fmt.Fprintf(&b, "   (scale=%.2f", cfg.Scale)
+	if cfg.Budget > 0 {
+		fmt.Fprintf(&b, ", budget=%dMB", cfg.Budget/1e6)
+	} else if cfg.BudgetAuto {
+		b.WriteString(", budget=auto")
+	}
+	b.WriteString(")\n")
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	io.WriteString(t.w, b.String())
+}
+
+// WriteCSV renders a report's rows as CSV for downstream plotting.
+func WriteCSV(w io.Writer, rep *Report) error {
+	keys := map[string]bool{}
+	for _, r := range rep.Rows {
+		for k := range r.Extra {
+			keys[k] = true
+		}
+	}
+	extraKeys := make([]string, 0, len(keys))
+	for k := range keys {
+		extraKeys = append(extraKeys, k)
+	}
+	sort.Strings(extraKeys)
+	if _, err := fmt.Fprintf(w, "instance,algo,decomp,threads,seconds,speedup,oom"); err != nil {
+		return err
+	}
+	for _, k := range extraKeys {
+		if _, err := fmt.Fprintf(w, ",%s", k); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, r := range rep.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%dx%dx%d,%d,%g,%g,%t",
+			r.Instance, r.Algo, r.Decomp[0], r.Decomp[1], r.Decomp[2],
+			r.Threads, r.Seconds, r.Speedup, r.OOM); err != nil {
+			return err
+		}
+		for _, k := range extraKeys {
+			if _, err := fmt.Fprintf(w, ",%g", r.Extra[k]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// modeledCfg is a fast modeled-mode config (no wall-clock sweeps).
+func modeledCfg(out *bytes.Buffer, instances ...string) Config {
+	return Config{
+		Scale:      0.1,
+		MaxThreads: 16,
+		Threads:    []int{1, 2, 4, 8, 16},
+		Decomps:    [][3]int{{1, 1, 1}, {2, 2, 2}, {4, 4, 4}, {8, 8, 8}, {16, 16, 16}},
+		Instances:  instances,
+		Modeled:    true,
+		Out:        out,
+	}
+}
+
+// TestModeledFig10Shape guards the headline qualitative claims of
+// Figure 10 on the modeled reproduction:
+//   - compute-bound PollenUS reaches a high speedup at moderate
+//     decompositions,
+//   - init-bound Flu is capped near the initialization speedup (~3),
+//   - extreme overdecomposition never beats the instance's own peak.
+func TestModeledFig10Shape(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := Run("fig10", modeledCfg(&out, "PollenUS_Hr-Mb", "Flu_Mr-Lb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := map[string]float64{}
+	coarse := map[string]float64{} // 1x1x1
+	for _, r := range rep.Rows {
+		if r.Speedup > best[r.Instance] {
+			best[r.Instance] = r.Speedup
+		}
+		if r.Decomp == [3]int{1, 1, 1} {
+			coarse[r.Instance] = r.Speedup
+		}
+	}
+	// Calibration rates vary with host load and instrumentation, so the
+	// assertions are relative rather than absolute: the compute-bound
+	// instance must clearly out-scale the init-bound one, and a 1x1x1
+	// decomposition (sequential compute) must be far from the peak.
+	if best["PollenUS_Hr-Mb"] < best["Flu_Mr-Lb"]+1 {
+		t.Errorf("compute-bound PollenUS best %.2f should exceed init-bound Flu best %.2f (paper: ~10 vs ~3)",
+			best["PollenUS_Hr-Mb"], best["Flu_Mr-Lb"])
+	}
+	if best["Flu_Mr-Lb"] > 6 {
+		t.Errorf("Flu_Mr-Lb best modeled speedup %.2f, want small (init-bound, paper: 2-4)",
+			best["Flu_Mr-Lb"])
+	}
+	if coarse["PollenUS_Hr-Mb"] > best["PollenUS_Hr-Mb"]/1.5 {
+		t.Errorf("1x1x1 decomposition (%.2f) should be far below the peak (%.2f)",
+			coarse["PollenUS_Hr-Mb"], best["PollenUS_Hr-Mb"])
+	}
+}
+
+// TestModeledFig8OOM: under the proportional 128GB budget, high-resolution
+// eBird cannot replicate its domain (paper: "None of the high resolution
+// eBird instances could have their domain replicated").
+func TestModeledFig8OOM(t *testing.T) {
+	var out bytes.Buffer
+	cfg := modeledCfg(&out, "eBird_Hr-Lb", "Dengue_Lr-Lb")
+	cfg.BudgetAuto = true
+	rep, err := Run("fig8", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawEbirdOOM := false
+	for _, r := range rep.Rows {
+		if r.Instance == "eBird_Hr-Lb" && r.Threads >= 8 && r.OOM {
+			sawEbirdOOM = true
+		}
+		if r.Instance == "Dengue_Lr-Lb" && r.OOM {
+			t.Error("Dengue fits hundreds of replicas in 128GB; must not OOM")
+		}
+	}
+	if !sawEbirdOOM {
+		t.Error("eBird_Hr-Lb DR at >=8 threads should exceed the proportional budget")
+	}
+}
+
+// TestModeledSchedBeatsBarrierOnClustered: the scheduled variant should
+// never be substantially worse than the checkerboard barriers, and on the
+// clustered PollenUS instances it should help (the paper's Fig. 13 vs 11).
+func TestModeledSchedBeatsBarrierOnClustered(t *testing.T) {
+	var out bytes.Buffer
+	cfg := modeledCfg(&out, "PollenUS_Hr-Mb")
+	pd, err := Run("fig11", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Run("fig13", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestPD, bestSched := 0.0, 0.0
+	for _, r := range pd.Rows {
+		if r.Speedup > bestPD {
+			bestPD = r.Speedup
+		}
+	}
+	for _, r := range sched.Rows {
+		if r.Speedup > bestSched {
+			bestSched = r.Speedup
+		}
+	}
+	if bestSched < bestPD*0.95 {
+		t.Errorf("PD-SCHED best %.2f worse than PD best %.2f", bestSched, bestPD)
+	}
+}
+
+// TestModeledRowsTagged: modeled rows must be distinguishable in CSV
+// output.
+func TestModeledRowsTagged(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := Run("fig10", modeledCfg(&out, "Dengue_Lr-Lb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if !r.OOM && r.Extra["modeled"] != 1 {
+			t.Fatalf("row not tagged as modeled: %+v", r)
+		}
+		if r.Algo != core.AlgPBSYMDD {
+			t.Fatalf("unexpected algorithm %s in fig10", r.Algo)
+		}
+	}
+}
+
+// TestModeledFig15Winner: on an init-bound instance the winner must not be
+// DR (which multiplies the dominant init cost).
+func TestModeledFig15Winner(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := Run("fig15", modeledCfg(&out, "Flu_Mr-Lb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drSpeedup, bestOther float64
+	for _, r := range rep.Rows {
+		if r.OOM {
+			continue
+		}
+		if r.Algo == core.AlgPBSYMDR {
+			drSpeedup = r.Speedup
+		} else if r.Speedup > bestOther {
+			bestOther = r.Speedup
+		}
+	}
+	if drSpeedup > bestOther {
+		t.Errorf("DR (%.2f) should not win on an init-bound instance (best other %.2f)",
+			drSpeedup, bestOther)
+	}
+}

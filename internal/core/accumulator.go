@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/par"
+	"repro/internal/stencil"
+)
+
+// Accumulator maintains a streaming STKDE: events can be added (and
+// retracted) incrementally without recomputing the whole volume. This is
+// the workflow the paper's introduction motivates — surveillance systems
+// are "updated on a daily basis" — and it falls out of the estimator's
+// additive structure: each event contributes an independent cylinder.
+//
+// The accumulator stores *unnormalized* per-event contributions
+// (ks*kt/(hs^2*ht)); Snapshot divides by the current event count to produce
+// a proper density. Adding then removing the same event returns the grid
+// to (floating-point) zero.
+//
+// Accumulator is safe for concurrent use; batch adds are parallelized
+// internally with the PB-SYM-PD checkerboard strategy when the batch is
+// large enough.
+type Accumulator struct {
+	mu   sync.Mutex
+	g    *grid.Grid
+	c    ctx
+	sc   *scratch
+	opt  Options
+	n    int
+	seen int64 // adds + removes, for stats
+}
+
+// NewAccumulator creates an empty streaming estimator on spec. Adaptive
+// bandwidths are not supported (per-point normalization would make removal
+// ambiguous); configure kernels and threads through opt.
+func NewAccumulator(spec grid.Spec, opt Options) (*Accumulator, error) {
+	if opt.AdaptiveBandwidth != nil {
+		return nil, fmt.Errorf("core: accumulator does not support adaptive bandwidths")
+	}
+	opt = opt.withDefaults()
+	g, err := grid.NewGrid(spec, opt.Budget)
+	if err != nil {
+		return nil, err
+	}
+	a := &Accumulator{g: g, opt: opt}
+	a.c = newCtx(nil, spec, opt)
+	// Unnormalized contributions: weight each event by 1/(hs^2*ht) only.
+	a.c.norm = 1 / (spec.HS * spec.HS * spec.HT)
+	a.c.n = 1
+	a.sc = newScratch(&a.c)
+	return a, nil
+}
+
+// N returns the number of events currently in the estimate.
+func (a *Accumulator) N() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+// Add folds events into the estimate.
+func (a *Accumulator) Add(pts ...grid.Point) {
+	a.apply(pts, 1)
+	a.mu.Lock()
+	a.n += len(pts)
+	a.seen += int64(len(pts))
+	a.mu.Unlock()
+}
+
+// Remove retracts previously added events (subtracting their cylinders).
+// Removing an event that was never added silently produces a signed
+// density; callers own that bookkeeping.
+func (a *Accumulator) Remove(pts ...grid.Point) {
+	a.apply(pts, -1)
+	a.mu.Lock()
+	a.n -= len(pts)
+	a.seen += int64(len(pts))
+	a.mu.Unlock()
+}
+
+// parallelBatch is the batch size above which Add/Remove uses the
+// checkerboard point decomposition instead of a sequential loop.
+const parallelBatch = 4096
+
+func (a *Accumulator) apply(pts []grid.Point, sign float64) {
+	if len(pts) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.c // copy: flip the sign without disturbing the stored ctx
+	c.norm *= sign
+	v := gridView(a.g)
+	bounds := a.g.Spec.Bounds()
+	if len(pts) < parallelBatch || a.opt.Threads <= 1 {
+		for _, p := range pts {
+			applySym(v, &c, p, bounds, a.sc)
+		}
+		return
+	}
+	// Large batch: checkerboard parity sets, exactly like PB-SYM-PD.
+	opt := a.opt
+	opt.AdaptiveBandwidth = nil
+	s := newPDSetup(pts, a.g.Spec, opt, &c)
+	col := stencil.Checkerboard(s.lat)
+	byColor := make([][]int, col.NumColors)
+	for id, cl := range col.Colors {
+		if len(s.cells[id]) > 0 {
+			byColor[cl] = append(byColor[cl], id)
+		}
+	}
+	scratches := make([]*scratch, opt.Threads)
+	for w := range scratches {
+		scratches[w] = newScratch(&c)
+	}
+	for _, set := range byColor {
+		par.ForDynamicOrderedW(opt.Threads, set, 1, func(w, id int) {
+			sc := scratches[w]
+			for _, i := range s.cells[id] {
+				applySym(v, &c, pts[i], bounds, sc)
+			}
+		})
+	}
+}
+
+// Snapshot returns a normalized copy of the current estimate (a proper
+// density that integrates to ~1), charged to the given budget.
+func (a *Accumulator) Snapshot(b *grid.Budget) (*grid.Grid, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out, err := grid.NewGrid(a.g.Spec, b)
+	if err != nil {
+		return nil, err
+	}
+	if a.n > 0 {
+		inv := 1 / float64(a.n)
+		for i, v := range a.g.Data {
+			out.Data[i] = v * inv
+		}
+	}
+	return out, nil
+}
+
+// Raw exposes the unnormalized accumulation grid (sum of per-event
+// cylinders scaled by 1/(hs^2*ht)). The caller must not mutate it while
+// concurrently adding events.
+func (a *Accumulator) Raw() *grid.Grid { return a.g }
+
+// Release frees the accumulator's grid back to its budget.
+func (a *Accumulator) Release() { a.g.Release() }

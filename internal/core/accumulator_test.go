@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/grid"
+)
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	spec := testSpec(t, 20, 18, 12, 3, 2)
+	pts := testPoints(400, spec.Domain, 17)
+
+	batch, err := Estimate(AlgPBSYM, pts, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acc, err := NewAccumulator(spec, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed in three uneven increments.
+	acc.Add(pts[:100]...)
+	acc.Add(pts[100:101]...)
+	acc.Add(pts[101:]...)
+	if acc.N() != len(pts) {
+		t.Fatalf("N = %d, want %d", acc.N(), len(pts))
+	}
+	snap, err := acc.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxRelDiff(batch.Grid, snap); d > 1e-11 {
+		t.Errorf("incremental estimate differs from batch by %g", d)
+	}
+}
+
+func TestAccumulatorRemove(t *testing.T) {
+	spec := testSpec(t, 16, 16, 10, 3, 2)
+	pts := testPoints(200, spec.Domain, 23)
+	acc, err := NewAccumulator(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.Add(pts...)
+	acc.Remove(pts[150:]...)
+	if acc.N() != 150 {
+		t.Fatalf("N = %d, want 150", acc.N())
+	}
+	// Equivalent to a fresh estimate over the first 150 points.
+	want, err := Estimate(AlgPBSYM, pts[:150], spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := acc.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxRelDiff(want.Grid, snap); d > 1e-10 {
+		t.Errorf("after removal differs by %g", d)
+	}
+	// Removing everything returns the raw grid to ~zero.
+	acc.Remove(pts[:150]...)
+	var worst float64
+	for _, v := range acc.Raw().Data {
+		if math.Abs(v) > worst {
+			worst = math.Abs(v)
+		}
+	}
+	if worst > 1e-12 {
+		t.Errorf("residual density %g after removing all points", worst)
+	}
+}
+
+// TestAccumulatorParallelBatch exercises the checkerboard fast path
+// (batches above parallelBatch) and checks agreement with the sequential
+// path.
+func TestAccumulatorParallelBatch(t *testing.T) {
+	spec := testSpec(t, 40, 40, 20, 2, 2)
+	pts := data.Epidemic{}.Generate(parallelBatch+500, spec.Domain, 3)
+
+	seq, err := NewAccumulator(spec, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		seq.Add(p)
+	}
+	par, err := NewAccumulator(spec, Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Add(pts...) // single large batch -> parallel path
+	a, err := seq.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxRelDiff(a, b); d > 1e-11 {
+		t.Errorf("parallel batch differs from sequential by %g", d)
+	}
+}
+
+func TestAccumulatorBudget(t *testing.T) {
+	spec := testSpec(t, 32, 32, 32, 2, 2)
+	budget := grid.NewBudget(spec.Bytes()) // exactly one grid
+	acc, err := NewAccumulator(spec, Options{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot needs a second grid: must fail under this budget.
+	if _, err := acc.Snapshot(budget); !errors.Is(err, grid.ErrMemoryBudget) {
+		t.Fatalf("want ErrMemoryBudget, got %v", err)
+	}
+	acc.Release()
+	if budget.Used() != 0 {
+		t.Errorf("budget leaked: %d", budget.Used())
+	}
+}
+
+func TestAccumulatorRejectsAdaptive(t *testing.T) {
+	spec := testSpec(t, 8, 8, 8, 2, 2)
+	_, err := NewAccumulator(spec, Options{
+		AdaptiveBandwidth: func(grid.Point) float64 { return 1 },
+	})
+	if err == nil {
+		t.Fatal("adaptive bandwidths must be rejected")
+	}
+}
+
+func TestAccumulatorEmptySnapshot(t *testing.T) {
+	spec := testSpec(t, 8, 8, 8, 2, 2)
+	acc, err := NewAccumulator(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := acc.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Sum() != 0 {
+		t.Error("empty accumulator must snapshot to zero")
+	}
+	acc.Add() // no-op
+	if acc.N() != 0 {
+		t.Error("empty add changed N")
+	}
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/kernel"
+)
+
+// ctx holds the evaluation context shared by every point-based algorithm:
+// the problem spec, kernels, and the constants of the density formula.
+type ctx struct {
+	spec     grid.Spec
+	sk       kernel.Spatial
+	tk       kernel.Temporal
+	n        int
+	adaptive func(grid.Point) float64
+
+	// Uniform-bandwidth fast-path constants.
+	hs, ht     float64
+	hs2        float64
+	invHS      float64
+	invHT      float64
+	norm       float64
+	boxHs      int
+	boxHt      int
+	maxScale   float64
+	adaptiveOn bool
+}
+
+// geom is the per-point evaluation geometry. With uniform bandwidths it is
+// the same for every point; with adaptive bandwidths it is derived from the
+// point's scale factor.
+type geom struct {
+	hs, ht float64
+	hs2    float64
+	invHS  float64
+	invHT  float64
+	norm   float64 // 1/(n*hs^2*ht) for this point
+	box    grid.Box
+}
+
+func newCtx(pts []grid.Point, spec grid.Spec, opt Options) ctx {
+	c := ctx{
+		spec:     spec,
+		sk:       opt.Spatial,
+		tk:       opt.Temporal,
+		n:        len(pts),
+		adaptive: opt.AdaptiveBandwidth,
+		hs:       spec.HS,
+		ht:       spec.HT,
+		hs2:      spec.HS * spec.HS,
+		invHS:    1 / spec.HS,
+		invHT:    1 / spec.HT,
+		norm:     spec.NormFactor(len(pts)),
+		boxHs:    spec.Hs,
+		boxHt:    spec.Ht,
+		maxScale: 1,
+	}
+	if c.adaptive != nil {
+		c.adaptiveOn = true
+		for _, p := range pts {
+			if s := c.adaptive(p); s > c.maxScale {
+				c.maxScale = s
+			}
+		}
+	}
+	return c
+}
+
+// maxHsVoxels returns the largest spatial bandwidth in voxels across all
+// points (equal to spec.Hs unless adaptive bandwidths are enabled).
+func (c *ctx) maxHsVoxels() int {
+	if !c.adaptiveOn {
+		return c.boxHs
+	}
+	return int(math.Ceil(c.hs * c.maxScale / c.spec.SRes))
+}
+
+// maxHtVoxels is the temporal analogue of maxHsVoxels.
+func (c *ctx) maxHtVoxels() int {
+	if !c.adaptiveOn {
+		return c.boxHt
+	}
+	return int(math.Ceil(c.ht * c.maxScale / c.spec.TRes))
+}
+
+// geom returns the evaluation geometry for point p: bandwidths, the
+// normalization constant and the (unclipped-to-clip, but grid-clipped)
+// influence box.
+func (c *ctx) geom(p grid.Point) geom {
+	if !c.adaptiveOn {
+		return geom{
+			hs: c.hs, ht: c.ht, hs2: c.hs2,
+			invHS: c.invHS, invHT: c.invHT, norm: c.norm,
+			box: c.spec.InfluenceBox(p),
+		}
+	}
+	s := c.adaptive(p)
+	if s <= 0 || math.IsNaN(s) {
+		s = 1
+	}
+	hs := c.hs * s
+	ht := c.ht * s
+	X, Y, T := c.spec.VoxelOf(p)
+	bhs := int(math.Ceil(hs / c.spec.SRes))
+	bht := int(math.Ceil(ht / c.spec.TRes))
+	b := grid.Box{
+		X0: X - bhs, X1: X + bhs,
+		Y0: Y - bhs, Y1: Y + bhs,
+		T0: T - bht, T1: T + bht,
+	}
+	return geom{
+		hs: hs, ht: ht, hs2: hs * hs,
+		invHS: 1 / hs, invHT: 1 / ht,
+		norm: 1 / (float64(c.n) * hs * hs * ht),
+		box:  b.Clip(c.spec.Bounds()),
+	}
+}
+
+// view is a writable window onto density storage: either the whole grid or
+// a private replication buffer covering a sub-box. Flat index of voxel
+// (X, Y, T) is (X-box.X0)*strideX + (Y-box.Y0)*strideY + (T-box.T0).
+type view struct {
+	data    []float64
+	box     grid.Box
+	strideX int
+	strideY int
+}
+
+func gridView(g *grid.Grid) view {
+	return view{
+		data:    g.Data,
+		box:     g.Spec.Bounds(),
+		strideX: g.Spec.Gy * g.Spec.Gt,
+		strideY: g.Spec.Gt,
+	}
+}
+
+// dataView wraps a raw full-grid slice (a DR replica) as a view.
+func dataView(data []float64, spec grid.Spec) view {
+	return view{
+		data:    data,
+		box:     spec.Bounds(),
+		strideX: spec.Gy * spec.Gt,
+		strideY: spec.Gt,
+	}
+}
+
+// boxView wraps a buffer covering box b (a REP replica buffer).
+func boxView(data []float64, b grid.Box) view {
+	_, ny, nt := b.Dims()
+	return view{data: data, box: b, strideX: ny * nt, strideY: nt}
+}
+
+// row returns the mutable T-run [t0, t0+nt) of column (X, Y).
+func (v view) row(X, Y, t0, nt int) []float64 {
+	base := (X-v.box.X0)*v.strideX + (Y-v.box.Y0)*v.strideY + (t0 - v.box.T0)
+	return v.data[base : base+nt]
+}
+
+// scratch holds per-worker temporaries (the Ks disk and Kt bar of Algorithm
+// 3) and per-worker work counters, merged into Stats at the end of a run.
+type scratch struct {
+	disk []float64
+	bar  []float64
+
+	updates int64
+	skEvals int64
+	tkEvals int64
+}
+
+func newScratch(c *ctx) *scratch {
+	dxy := 2*c.maxHsVoxels() + 1
+	dt := 2*c.maxHtVoxels() + 1
+	return &scratch{
+		disk: make([]float64, dxy*dxy),
+		bar:  make([]float64, dt),
+	}
+}
+
+func (sc *scratch) ensure(nxy, nt int) {
+	if cap(sc.disk) < nxy {
+		sc.disk = make([]float64, nxy)
+	}
+	sc.disk = sc.disk[:nxy]
+	if cap(sc.bar) < nt {
+		sc.bar = make([]float64, nt)
+	}
+	sc.bar = sc.bar[:nt]
+}
+
+func (sc *scratch) mergeInto(st *Stats) {
+	st.Updates += sc.updates
+	st.SKEvals += sc.skEvals
+	st.TKEvals += sc.tkEvals
+}
+
+// applyFn is the per-point inner kernel shared by all PB-family algorithms:
+// it adds point p's density contribution to every voxel of v that lies
+// inside clip.
+type applyFn func(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch)
+
+// applyPB is Algorithm 2: both kernels are evaluated for every voxel of the
+// bandwidth box that passes the distance tests. Like the paper's
+// pseudocode, kernel arguments are computed with per-evaluation divisions
+// ((x-xi)/hs); only PB-SYM replaces them with precomputed reciprocals.
+// This cost difference is part of what Table 3 measures.
+func applyPB(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
+	g := c.geom(p)
+	box := g.box.Clip(clip).Clip(v.box)
+	if box.Empty() {
+		return
+	}
+	nt := box.T1 - box.T0 + 1
+	for X := box.X0; X <= box.X1; X++ {
+		dx := c.spec.CenterX(X) - p.X
+		dxx := dx * dx
+		for Y := box.Y0; Y <= box.Y1; Y++ {
+			dy := c.spec.CenterY(Y) - p.Y
+			s2 := dxx + dy*dy
+			row := v.row(X, Y, box.T0, nt)
+			for j := 0; j < nt; j++ {
+				dt := c.spec.CenterT(box.T0+j) - p.T
+				if s2 < g.hs2 && dt >= -g.ht && dt <= g.ht {
+					ks := c.sk.Eval(dx/g.hs, dy/g.hs)
+					kt := c.tk.Eval(dt / g.ht)
+					row[j] += ks * kt / (float64(c.n) * g.hs * g.hs * g.ht)
+					sc.skEvals++
+					sc.tkEvals++
+					sc.updates++
+				}
+			}
+		}
+	}
+}
+
+// applyDisk is PB-DISK: the spatial invariant Ks is computed once per point
+// (the disk); the temporal kernel is still evaluated for every voxel.
+func applyDisk(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
+	g := c.geom(p)
+	box := g.box.Clip(clip).Clip(v.box)
+	if box.Empty() {
+		return
+	}
+	nx, ny, nt := box.Dims()
+	sc.ensure(nx*ny, nt)
+	fillDisk(c, p, g, box, sc)
+	i := 0
+	for X := box.X0; X <= box.X1; X++ {
+		for Y := box.Y0; Y <= box.Y1; Y++ {
+			ks := sc.disk[i]
+			i++
+			if ks == 0 {
+				continue
+			}
+			row := v.row(X, Y, box.T0, nt)
+			for j := 0; j < nt; j++ {
+				dt := c.spec.CenterT(box.T0+j) - p.T
+				if dt >= -g.ht && dt <= g.ht {
+					row[j] += ks * c.tk.Eval(dt/g.ht)
+					sc.tkEvals++
+					sc.updates++
+				}
+			}
+		}
+	}
+}
+
+// applyBar is PB-BAR: the temporal invariant Kt is computed once per point
+// (the bar); the spatial kernel is still evaluated for every voxel.
+func applyBar(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
+	g := c.geom(p)
+	box := g.box.Clip(clip).Clip(v.box)
+	if box.Empty() {
+		return
+	}
+	_, _, nt := box.Dims()
+	sc.ensure(1, nt)
+	fillBar(c, p, g, box, sc)
+	for X := box.X0; X <= box.X1; X++ {
+		dx := c.spec.CenterX(X) - p.X
+		dxx := dx * dx
+		for Y := box.Y0; Y <= box.Y1; Y++ {
+			dy := c.spec.CenterY(Y) - p.Y
+			if dxx+dy*dy >= g.hs2 {
+				continue
+			}
+			row := v.row(X, Y, box.T0, nt)
+			for j := 0; j < nt; j++ {
+				if kt := sc.bar[j]; kt != 0 {
+					row[j] += c.sk.Eval(dx/g.hs, dy/g.hs) * kt * g.norm
+					sc.skEvals++
+					sc.updates++
+				}
+			}
+		}
+	}
+}
+
+// applySym is Algorithm 3 (PB-SYM): both invariants are computed once and
+// every voxel update is a single multiply-add of disk and bar entries.
+func applySym(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
+	g := c.geom(p)
+	box := g.box.Clip(clip).Clip(v.box)
+	if box.Empty() {
+		return
+	}
+	nx, ny, nt := box.Dims()
+	sc.ensure(nx*ny, nt)
+	fillDisk(c, p, g, box, sc)
+	fillBar(c, p, g, box, sc)
+	bar := sc.bar
+	i := 0
+	for X := box.X0; X <= box.X1; X++ {
+		for Y := box.Y0; Y <= box.Y1; Y++ {
+			ks := sc.disk[i]
+			i++
+			if ks == 0 {
+				continue
+			}
+			row := v.row(X, Y, box.T0, nt)
+			for j, kt := range bar {
+				row[j] += ks * kt
+			}
+			sc.updates += int64(nt)
+		}
+	}
+}
+
+// fillDisk computes the spatial invariant Ks over the box's (X, Y) extent,
+// with the normalization constant folded in (as in Algorithm 3).
+func fillDisk(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) {
+	i := 0
+	for X := box.X0; X <= box.X1; X++ {
+		dx := c.spec.CenterX(X) - p.X
+		dxx := dx * dx
+		for Y := box.Y0; Y <= box.Y1; Y++ {
+			dy := c.spec.CenterY(Y) - p.Y
+			if dxx+dy*dy < g.hs2 {
+				sc.disk[i] = c.sk.Eval(dx*g.invHS, dy*g.invHS) * g.norm
+				sc.skEvals++
+			} else {
+				sc.disk[i] = 0
+			}
+			i++
+		}
+	}
+}
+
+// fillBar computes the temporal invariant Kt over the box's T extent.
+func fillBar(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) {
+	for j := 0; j <= box.T1-box.T0; j++ {
+		dt := c.spec.CenterT(box.T0+j) - p.T
+		if dt >= -g.ht && dt <= g.ht {
+			sc.bar[j] = c.tk.Eval(dt * g.invHT)
+			sc.tkEvals++
+		} else {
+			sc.bar[j] = 0
+		}
+	}
+}

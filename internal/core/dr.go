@@ -1,0 +1,89 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/par"
+)
+
+// runDR is PB-SYM-DR (Algorithm 4), domain replication: every worker
+// aggregates its share of the points into a private copy of the whole
+// density grid, and the copies are summed in a parallel reduction.
+//
+// Memory is Θ(P·Gx·Gy·Gt) and the parallel work is
+// Θ(P·Gx·Gy·Gt + n·Hs²·Ht): pleasingly parallel, but not work-efficient.
+// With a memory budget configured, large grids fail with
+// grid.ErrMemoryBudget exactly like the paper's 128 GB machine (Figure 8).
+func runDR(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
+	res := &Result{}
+	p := opt.Threads
+
+	// Init phase: allocate P private grids (replica 0 doubles as output).
+	t0 := time.Now()
+	replicas := make([]*grid.Grid, p)
+	allocErrs := make([]error, p)
+	par.For(p, p, func(w int) {
+		replicas[w], allocErrs[w] = grid.NewGrid(spec, opt.Budget)
+	})
+	for _, err := range allocErrs {
+		if err != nil {
+			for _, g := range replicas {
+				if g != nil {
+					g.Release()
+				}
+			}
+			return nil, err
+		}
+	}
+	res.Phases.Init = time.Since(t0)
+
+	c := newCtx(pts, spec, opt)
+	bounds := spec.Bounds()
+	scratches := make([]*scratch, p)
+
+	// Compute phase: points are distributed statically among the workers
+	// (Algorithm 4); each worker runs PB-SYM into its own replica.
+	t0 = time.Now()
+	par.Blocks(p, len(pts), func(w, lo, hi int) {
+		sc := newScratch(&c)
+		scratches[w] = sc
+		v := gridView(replicas[w])
+		for i := lo; i < hi; i++ {
+			applySym(v, &c, pts[i], bounds, sc)
+		}
+	})
+	res.Phases.Compute = time.Since(t0)
+
+	// Reduce phase: sum the P replicas voxel-by-voxel, each worker owning
+	// a contiguous slab of the output.
+	t0 = time.Now()
+	out := replicas[0]
+	if p > 1 {
+		par.Blocks(p, len(out.Data), func(_, lo, hi int) {
+			dst := out.Data[lo:hi]
+			for w := 1; w < p; w++ {
+				src := replicas[w].Data[lo:hi]
+				for i := range dst {
+					dst[i] += src[i]
+				}
+			}
+		})
+	}
+	res.Phases.Reduce = time.Since(t0)
+
+	for w := 1; w < p; w++ {
+		replicas[w].Release()
+	}
+	res.Grid = out
+	for _, sc := range scratches {
+		if sc != nil {
+			sc.mergeInto(&res.Stats)
+		}
+	}
+	if p > 1 {
+		res.Stats.Updates += int64(p-1) * int64(len(out.Data))
+	}
+	res.Stats.BufferBytes = int64(p-1) * spec.Bytes()
+	return res, nil
+}

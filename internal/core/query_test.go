@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/grid"
+)
+
+// TestQueryMatchesGrid: point queries at voxel centers must equal the
+// grid-based estimate exactly (same formula, same distance tests).
+func TestQueryMatchesGrid(t *testing.T) {
+	spec := testSpec(t, 18, 14, 10, 3, 2.5)
+	pts := testPoints(250, spec.Domain, 5)
+	ref, err := Estimate(AlgVB, pts, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(pts, spec, Options{})
+	if q.N() != len(pts) {
+		t.Fatalf("N = %d", q.N())
+	}
+	for X := 0; X < spec.Gx; X++ {
+		for Y := 0; Y < spec.Gy; Y++ {
+			for T := 0; T < spec.Gt; T++ {
+				got := q.At(spec.CenterX(X), spec.CenterY(Y), spec.CenterT(T))
+				want := ref.Grid.At(X, Y, T)
+				if math.Abs(got-want) > 1e-13 {
+					t.Fatalf("query(%d,%d,%d) = %g, grid = %g", X, Y, T, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryAtManyParallel(t *testing.T) {
+	spec := testSpec(t, 30, 30, 15, 4, 3)
+	pts := data.Hotspot{}.Generate(2000, spec.Domain, 7)
+	q := NewQuery(pts, spec, Options{})
+	locs := data.Uniform{}.Generate(500, spec.Domain, 9)
+	seq := q.AtMany(locs, 1)
+	par := q.AtMany(locs, 4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("parallel query differs at %d: %g vs %g", i, seq[i], par[i])
+		}
+	}
+	// Values are non-negative densities.
+	for i, v := range seq {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("query %d returned %g", i, v)
+		}
+	}
+}
+
+func TestQueryEmptyAndOutside(t *testing.T) {
+	spec := testSpec(t, 10, 10, 10, 2, 2)
+	q := NewQuery(nil, spec, Options{})
+	if q.At(5, 5, 5) != 0 {
+		t.Error("empty index must return 0")
+	}
+	pts := []grid.Point{{X: 5, Y: 5, T: 5}}
+	q = NewQuery(pts, spec, Options{})
+	// Far outside the indexed blocks: no panic, zero density.
+	if v := q.At(-100, 300, 800); v != 0 {
+		t.Errorf("far query = %g, want 0", v)
+	}
+	// At the event location itself: maximal density.
+	center := q.At(5, 5, 5)
+	off := q.At(6.5, 5, 5)
+	if center <= off {
+		t.Errorf("density should decay with distance: %g vs %g", center, off)
+	}
+}
+
+// TestQueryKernelOption: queries honor custom kernels.
+func TestQueryKernelOption(t *testing.T) {
+	spec := testSpec(t, 10, 10, 10, 3, 3)
+	pts := []grid.Point{{X: 5, Y: 5, T: 5}}
+	def := NewQuery(pts, spec, Options{})
+	uni := NewQuery(pts, spec, Options{
+		Spatial:  kernelUniform2D{},
+		Temporal: kernelUniform1D{},
+	})
+	// Uniform kernel: flat within the cylinder.
+	a := uni.At(5.1, 5, 5)
+	b := uni.At(6.9, 5, 5)
+	if math.Abs(a-b) > 1e-15 {
+		t.Errorf("uniform kernel should be flat: %g vs %g", a, b)
+	}
+	// Epanechnikov: decaying.
+	if def.At(5.1, 5, 5) <= def.At(6.9, 5, 5) {
+		t.Error("default kernel should decay")
+	}
+}
+
+// local uniform kernels to avoid an import cycle with the kernel package's
+// test helpers.
+type kernelUniform2D struct{}
+
+func (kernelUniform2D) Eval(u, v float64) float64 {
+	if u*u+v*v >= 1 {
+		return 0
+	}
+	return 1 / math.Pi
+}
+func (kernelUniform2D) Name() string { return "test-uniform2d" }
+
+type kernelUniform1D struct{}
+
+func (kernelUniform1D) Eval(w float64) float64 {
+	if w <= -1 || w >= 1 {
+		return 0
+	}
+	return 0.5
+}
+func (kernelUniform1D) Name() string { return "test-uniform1d" }

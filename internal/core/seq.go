@@ -1,0 +1,204 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/grid"
+)
+
+// runVB is Algorithm 1, the voxel-based gold standard: for every voxel,
+// scan every point and accumulate the kernel product when the point lies
+// inside the voxel's bandwidth cylinder. Θ(Gx·Gy·Gt·n).
+func runVB(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
+	res := &Result{}
+	t0 := time.Now()
+	g, err := grid.NewGrid(spec, opt.Budget)
+	if err != nil {
+		return nil, err
+	}
+	res.Grid = g
+	res.Phases.Init = time.Since(t0)
+
+	c := newCtx(pts, spec, opt)
+	// Per-point geometry is invariant across voxels; precompute it.
+	geoms := make([]geom, len(pts))
+	for i, p := range pts {
+		geoms[i] = c.geom(p)
+	}
+
+	t0 = time.Now()
+	var st Stats
+	for X := 0; X < spec.Gx; X++ {
+		x := spec.CenterX(X)
+		for Y := 0; Y < spec.Gy; Y++ {
+			y := spec.CenterY(Y)
+			row := g.Data[g.Idx(X, Y, 0) : g.Idx(X, Y, 0)+spec.Gt]
+			for T := 0; T < spec.Gt; T++ {
+				t := spec.CenterT(T)
+				sum := 0.0
+				for i := range pts {
+					dx := pts[i].X - x
+					dy := pts[i].Y - y
+					dt := pts[i].T - t
+					gm := &geoms[i]
+					if dx*dx+dy*dy < gm.hs2 && dt >= -gm.ht && dt <= gm.ht {
+						sum += c.sk.Eval(dx/gm.hs, dy/gm.hs) *
+							c.tk.Eval(dt/gm.ht) * gm.norm
+						st.SKEvals++
+						st.TKEvals++
+						st.Updates++
+					}
+				}
+				row[T] = sum
+			}
+		}
+	}
+	res.Phases.Compute = time.Since(t0)
+	res.Stats = st
+	return res, nil
+}
+
+// runVBDEC is the VB-DEC variant of Section 6.2: points are partitioned
+// into blocks of bandwidth size so each voxel only tests points from its
+// own and the 26 neighboring blocks — the only points that can possibly
+// affect it.
+func runVBDEC(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
+	res := &Result{}
+	t0 := time.Now()
+	g, err := grid.NewGrid(spec, opt.Budget)
+	if err != nil {
+		return nil, err
+	}
+	res.Grid = g
+	res.Phases.Init = time.Since(t0)
+
+	c := newCtx(pts, spec, opt)
+	geoms := make([]geom, len(pts))
+	for i, p := range pts {
+		geoms[i] = c.geom(p)
+	}
+
+	// Bin points into bandwidth-sized blocks of voxels.
+	t0 = time.Now()
+	bsXY := max(c.maxHsVoxels(), 1)
+	bsT := max(c.maxHtVoxels(), 1)
+	nbx := (spec.Gx + bsXY - 1) / bsXY
+	nby := (spec.Gy + bsXY - 1) / bsXY
+	nbt := (spec.Gt + bsT - 1) / bsT
+	bins := make([][]int32, nbx*nby*nbt)
+	binID := func(bx, by, bt int) int { return (bx*nby+by)*nbt + bt }
+	for i, p := range pts {
+		X, Y, T := spec.VoxelOf(p)
+		bins[binID(X/bsXY, Y/bsXY, T/bsT)] = append(bins[binID(X/bsXY, Y/bsXY, T/bsT)], int32(i))
+	}
+	res.Phases.Bin = time.Since(t0)
+
+	t0 = time.Now()
+	var st Stats
+	var cand []int32
+	for bx := 0; bx < nbx; bx++ {
+		for by := 0; by < nby; by++ {
+			for bt := 0; bt < nbt; bt++ {
+				// Gather candidate points from the 27 neighboring blocks.
+				cand = cand[:0]
+				for dx := -1; dx <= 1; dx++ {
+					nx := bx + dx
+					if nx < 0 || nx >= nbx {
+						continue
+					}
+					for dy := -1; dy <= 1; dy++ {
+						ny := by + dy
+						if ny < 0 || ny >= nby {
+							continue
+						}
+						for dt := -1; dt <= 1; dt++ {
+							nt := bt + dt
+							if nt < 0 || nt >= nbt {
+								continue
+							}
+							cand = append(cand, bins[binID(nx, ny, nt)]...)
+						}
+					}
+				}
+				if len(cand) == 0 {
+					continue
+				}
+				// Scan the voxels of this block against the candidates.
+				x1 := min((bx+1)*bsXY, spec.Gx)
+				y1 := min((by+1)*bsXY, spec.Gy)
+				t1 := min((bt+1)*bsT, spec.Gt)
+				for X := bx * bsXY; X < x1; X++ {
+					x := spec.CenterX(X)
+					for Y := by * bsXY; Y < y1; Y++ {
+						y := spec.CenterY(Y)
+						row := g.Data[g.Idx(X, Y, 0) : g.Idx(X, Y, 0)+spec.Gt]
+						for T := bt * bsT; T < t1; T++ {
+							t := spec.CenterT(T)
+							sum := 0.0
+							for _, ci := range cand {
+								p := pts[ci]
+								dx := p.X - x
+								dy := p.Y - y
+								dt := p.T - t
+								gm := &geoms[ci]
+								if dx*dx+dy*dy < gm.hs2 && dt >= -gm.ht && dt <= gm.ht {
+									sum += c.sk.Eval(dx/gm.hs, dy/gm.hs) *
+										c.tk.Eval(dt/gm.ht) * gm.norm
+									st.SKEvals++
+									st.TKEvals++
+									st.Updates++
+								}
+							}
+							row[T] += sum
+						}
+					}
+				}
+			}
+		}
+	}
+	res.Phases.Compute = time.Since(t0)
+	res.Stats = st
+	return res, nil
+}
+
+// runPointBased is the shared sequential driver for PB, PB-DISK, PB-BAR
+// and PB-SYM: initialize the grid, then apply each point's cylinder.
+func runPointBased(apply applyFn, pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
+	res := &Result{}
+	t0 := time.Now()
+	g, err := grid.NewGrid(spec, opt.Budget)
+	if err != nil {
+		return nil, err
+	}
+	res.Grid = g
+	res.Phases.Init = time.Since(t0)
+
+	c := newCtx(pts, spec, opt)
+	sc := newScratch(&c)
+	v := gridView(g)
+	bounds := spec.Bounds()
+
+	t0 = time.Now()
+	for _, p := range pts {
+		apply(v, &c, p, bounds, sc)
+	}
+	res.Phases.Compute = time.Since(t0)
+	sc.mergeInto(&res.Stats)
+	return res, nil
+}
+
+func runPB(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
+	return runPointBased(applyPB, pts, spec, opt)
+}
+
+func runPBDISK(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
+	return runPointBased(applyDisk, pts, spec, opt)
+}
+
+func runPBBAR(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
+	return runPointBased(applyBar, pts, spec, opt)
+}
+
+func runPBSYM(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
+	return runPointBased(applySym, pts, spec, opt)
+}

@@ -1,0 +1,81 @@
+package gio
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// heat maps a normalized density in [0, 1] to a blue->cyan->yellow->red
+// ramp, the classic heatmap palette of GIS density maps.
+func heat(v float64) color.NRGBA {
+	if v <= 0 {
+		return color.NRGBA{R: 8, G: 8, B: 40, A: 255}
+	}
+	if v > 1 {
+		v = 1
+	}
+	// Piecewise-linear ramp over four stops.
+	stops := [][3]float64{
+		{8, 8, 40},    // deep blue
+		{0, 140, 255}, // cyan
+		{255, 220, 0}, // yellow
+		{255, 30, 0},  // red
+	}
+	seg := v * float64(len(stops)-1)
+	i := int(seg)
+	if i >= len(stops)-1 {
+		i = len(stops) - 2
+	}
+	f := seg - float64(i)
+	mix := func(a, b float64) uint8 { return uint8(a + (b-a)*f) }
+	return color.NRGBA{
+		R: mix(stops[i][0], stops[i+1][0]),
+		G: mix(stops[i][1], stops[i+1][1]),
+		B: mix(stops[i][2], stops[i+1][2]),
+		A: 255,
+	}
+}
+
+// WritePNGSlice renders the temporal slice T of the grid as a PNG heatmap
+// (the per-day maps of the paper's Figure 1). Densities are normalized by
+// maxDensity; pass 0 to normalize by the slice's own maximum. Gamma < 1
+// brightens low densities (0.5 is a good default).
+func WritePNGSlice(w io.Writer, g *grid.Grid, T int, maxDensity, gamma float64) error {
+	s := g.Spec
+	if T < 0 || T >= s.Gt {
+		return fmt.Errorf("gio: slice %d outside [0, %d)", T, s.Gt)
+	}
+	if maxDensity <= 0 {
+		for X := 0; X < s.Gx; X++ {
+			for Y := 0; Y < s.Gy; Y++ {
+				if v := g.At(X, Y, T); v > maxDensity {
+					maxDensity = v
+				}
+			}
+		}
+		if maxDensity == 0 {
+			maxDensity = 1
+		}
+	}
+	if gamma <= 0 {
+		gamma = 0.5
+	}
+	img := image.NewNRGBA(image.Rect(0, 0, s.Gx, s.Gy))
+	for X := 0; X < s.Gx; X++ {
+		for Y := 0; Y < s.Gy; Y++ {
+			v := g.At(X, Y, T) / maxDensity
+			// Flip Y so north is up.
+			img.SetNRGBA(X, s.Gy-1-Y, heat(math.Pow(v, gamma)))
+		}
+	}
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("gio: encode png: %w", err)
+	}
+	return nil
+}

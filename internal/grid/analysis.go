@@ -1,0 +1,152 @@
+package grid
+
+import "fmt"
+
+// Analysis helpers for the visualization pipeline the paper's introduction
+// describes: once the 3-D density volume exists, analysts slice it, project
+// it, and aggregate it interactively.
+
+// SliceT returns a copy of temporal layer T as a flat Gx*Gy array (Y
+// innermost), the per-day heatmap of Figure 1.
+func (g *Grid) SliceT(T int) ([]float64, error) {
+	s := g.Spec
+	if T < 0 || T >= s.Gt {
+		return nil, fmt.Errorf("grid: slice %d outside [0, %d)", T, s.Gt)
+	}
+	out := make([]float64, s.Gx*s.Gy)
+	for X := 0; X < s.Gx; X++ {
+		for Y := 0; Y < s.Gy; Y++ {
+			out[X*s.Gy+Y] = g.At(X, Y, T)
+		}
+	}
+	return out, nil
+}
+
+// TemporalProfile returns the spatially integrated density per time layer:
+// profile[T] = sum over X,Y of density * sres^2. It is the epidemic curve
+// of the dataset (integrates to ~1 over time when multiplied by tres).
+func (g *Grid) TemporalProfile() []float64 {
+	s := g.Spec
+	out := make([]float64, s.Gt)
+	cell := s.SRes * s.SRes
+	for X := 0; X < s.Gx; X++ {
+		for Y := 0; Y < s.Gy; Y++ {
+			row := g.Data[g.Idx(X, Y, 0) : g.Idx(X, Y, 0)+s.Gt]
+			for T, v := range row {
+				out[T] += v * cell
+			}
+		}
+	}
+	return out
+}
+
+// SpatialDensity returns the temporally integrated density per spatial
+// cell: out[X*Gy+Y] = sum over T of density * tres. It is the classic 2-D
+// KDE heatmap implied by the space-time estimate.
+func (g *Grid) SpatialDensity() []float64 {
+	s := g.Spec
+	out := make([]float64, s.Gx*s.Gy)
+	for X := 0; X < s.Gx; X++ {
+		for Y := 0; Y < s.Gy; Y++ {
+			row := g.Data[g.Idx(X, Y, 0) : g.Idx(X, Y, 0)+s.Gt]
+			sum := 0.0
+			for _, v := range row {
+				sum += v
+			}
+			out[X*s.Gy+Y] = sum * s.TRes
+		}
+	}
+	return out
+}
+
+// BoxMass integrates the density over a voxel box (sum * sres^2 * tres):
+// the estimated probability mass of the space-time region.
+func (g *Grid) BoxMass(b Box) float64 {
+	s := g.Spec
+	b = b.Clip(s.Bounds())
+	if b.Empty() {
+		return 0
+	}
+	sum := 0.0
+	nt := b.T1 - b.T0 + 1
+	for X := b.X0; X <= b.X1; X++ {
+		for Y := b.Y0; Y <= b.Y1; Y++ {
+			base := g.Idx(X, Y, b.T0)
+			row := g.Data[base : base+nt]
+			for _, v := range row {
+				sum += v
+			}
+		}
+	}
+	return sum * s.SRes * s.SRes * s.TRes
+}
+
+// Downsample returns a coarsened copy of the grid, aggregating fx x fy x ft
+// voxel blocks by averaging; useful for overview rendering of huge volumes.
+// Factors must be positive; trailing partial blocks average their actual
+// voxel count.
+func (g *Grid) Downsample(fx, fy, ft int, b *Budget) (*Grid, error) {
+	if fx < 1 || fy < 1 || ft < 1 {
+		return nil, fmt.Errorf("grid: downsample factors must be >= 1, got (%d,%d,%d)", fx, fy, ft)
+	}
+	s := g.Spec
+	coarse, err := NewSpec(s.Domain,
+		s.SRes*float64(fx), s.TRes*float64(ft), s.HS, s.HT)
+	if err != nil {
+		return nil, err
+	}
+	// NewSpec derives x and y from the same sres; when fx != fy the y
+	// dimension needs manual adjustment.
+	coarse.Gy = (s.Gy + fy - 1) / fy
+	coarse.Gx = (s.Gx + fx - 1) / fx
+	coarse.Gt = (s.Gt + ft - 1) / ft
+	out, err := NewGrid(coarse, b)
+	if err != nil {
+		return nil, err
+	}
+	for X := 0; X < coarse.Gx; X++ {
+		for Y := 0; Y < coarse.Gy; Y++ {
+			for T := 0; T < coarse.Gt; T++ {
+				sum, n := 0.0, 0
+				for x := X * fx; x < min((X+1)*fx, s.Gx); x++ {
+					for y := Y * fy; y < min((Y+1)*fy, s.Gy); y++ {
+						for t := T * ft; t < min((T+1)*ft, s.Gt); t++ {
+							sum += g.At(x, y, t)
+							n++
+						}
+					}
+				}
+				if n > 0 {
+					out.Set(X, Y, T, sum/float64(n))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Threshold returns the voxel boxes (grown greedily along T runs) where
+// density meets or exceeds the given level; a primitive cluster extraction
+// for alerting ("which space-time regions are hot?"). Runs are reported as
+// single-voxel-thick boxes along T for simplicity.
+func (g *Grid) Threshold(level float64) []Box {
+	s := g.Spec
+	var out []Box
+	for X := 0; X < s.Gx; X++ {
+		for Y := 0; Y < s.Gy; Y++ {
+			row := g.Data[g.Idx(X, Y, 0) : g.Idx(X, Y, 0)+s.Gt]
+			start := -1
+			for T := 0; T <= s.Gt; T++ {
+				hot := T < s.Gt && row[T] >= level
+				if hot && start < 0 {
+					start = T
+				}
+				if !hot && start >= 0 {
+					out = append(out, Box{X0: X, X1: X, Y0: Y, Y1: Y, T0: start, T1: T - 1})
+					start = -1
+				}
+			}
+		}
+	}
+	return out
+}

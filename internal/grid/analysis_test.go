@@ -1,0 +1,180 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func filledGrid(t *testing.T) *Grid {
+	t.Helper()
+	s := mustSpec(t, Domain{X0: 1, Y0: 2, T0: 3, GX: 6, GY: 5, GT: 4}, 1, 1, 2, 2)
+	g, err := NewGrid(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for X := 0; X < s.Gx; X++ {
+		for Y := 0; Y < s.Gy; Y++ {
+			for T := 0; T < s.Gt; T++ {
+				g.Set(X, Y, T, float64(X*100+Y*10+T))
+			}
+		}
+	}
+	return g
+}
+
+func TestSliceT(t *testing.T) {
+	g := filledGrid(t)
+	s := g.Spec
+	sl, err := g.SliceT(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sl) != s.Gx*s.Gy {
+		t.Fatalf("slice has %d cells, want %d", len(sl), s.Gx*s.Gy)
+	}
+	for X := 0; X < s.Gx; X++ {
+		for Y := 0; Y < s.Gy; Y++ {
+			if sl[X*s.Gy+Y] != g.At(X, Y, 2) {
+				t.Fatalf("slice mismatch at (%d,%d)", X, Y)
+			}
+		}
+	}
+	if _, err := g.SliceT(-1); err == nil {
+		t.Error("negative slice should error")
+	}
+	if _, err := g.SliceT(s.Gt); err == nil {
+		t.Error("out-of-range slice should error")
+	}
+}
+
+func TestTemporalProfileAndSpatialDensity(t *testing.T) {
+	g := filledGrid(t)
+	s := g.Spec
+	profile := g.TemporalProfile()
+	if len(profile) != s.Gt {
+		t.Fatalf("profile length %d, want %d", len(profile), s.Gt)
+	}
+	for T := 0; T < s.Gt; T++ {
+		want := 0.0
+		for X := 0; X < s.Gx; X++ {
+			for Y := 0; Y < s.Gy; Y++ {
+				want += g.At(X, Y, T) * s.SRes * s.SRes
+			}
+		}
+		if math.Abs(profile[T]-want) > 1e-9 {
+			t.Errorf("profile[%d] = %g, want %g", T, profile[T], want)
+		}
+	}
+	sd := g.SpatialDensity()
+	for X := 0; X < s.Gx; X++ {
+		for Y := 0; Y < s.Gy; Y++ {
+			want := 0.0
+			for T := 0; T < s.Gt; T++ {
+				want += g.At(X, Y, T) * s.TRes
+			}
+			if math.Abs(sd[X*s.Gy+Y]-want) > 1e-9 {
+				t.Errorf("spatial density (%d,%d) = %g, want %g", X, Y, sd[X*s.Gy+Y], want)
+			}
+		}
+	}
+	// Total mass via profile equals BoxMass of everything.
+	var viaProfile float64
+	for _, v := range profile {
+		viaProfile += v * s.TRes
+	}
+	if all := g.BoxMass(s.Bounds()); math.Abs(all-viaProfile) > 1e-9 {
+		t.Errorf("profile mass %g != box mass %g", viaProfile, all)
+	}
+}
+
+func TestBoxMass(t *testing.T) {
+	g := filledGrid(t)
+	b := Box{X0: 1, X1: 2, Y0: 0, Y1: 1, T0: 1, T1: 3}
+	want := 0.0
+	for X := b.X0; X <= b.X1; X++ {
+		for Y := b.Y0; Y <= b.Y1; Y++ {
+			for T := b.T0; T <= b.T1; T++ {
+				want += g.At(X, Y, T)
+			}
+		}
+	}
+	want *= g.Spec.SRes * g.Spec.SRes * g.Spec.TRes
+	if got := g.BoxMass(b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("BoxMass = %g, want %g", got, want)
+	}
+	// Out-of-grid parts are clipped, fully-outside boxes are zero.
+	big := Box{X0: -10, X1: 100, Y0: -10, Y1: 100, T0: -10, T1: 100}
+	if got := g.BoxMass(big); math.Abs(got-g.BoxMass(g.Spec.Bounds())) > 1e-9 {
+		t.Error("oversized box should clip to the grid")
+	}
+	if g.BoxMass(Box{X0: 50, X1: 60, Y0: 0, Y1: 1, T0: 0, T1: 1}) != 0 {
+		t.Error("disjoint box should have zero mass")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	g := filledGrid(t)
+	c, err := g.Downsample(2, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Spec.Gx != 3 || c.Spec.Gy != 3 || c.Spec.Gt != 2 {
+		t.Fatalf("coarse dims %dx%dx%d", c.Spec.Gx, c.Spec.Gy, c.Spec.Gt)
+	}
+	// First coarse voxel is the average of the 2x2x2 block at the origin.
+	want := 0.0
+	for X := 0; X < 2; X++ {
+		for Y := 0; Y < 2; Y++ {
+			for T := 0; T < 2; T++ {
+				want += g.At(X, Y, T)
+			}
+		}
+	}
+	want /= 8
+	if got := c.At(0, 0, 0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("coarse(0,0,0) = %g, want %g", got, want)
+	}
+	// Identity factors preserve the grid.
+	id, err := g.Downsample(1, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if id.Data[i] != g.Data[i] {
+			t.Fatal("identity downsample changed data")
+		}
+	}
+	if _, err := g.Downsample(0, 1, 1, nil); err == nil {
+		t.Error("zero factor must error")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	s := mustSpec(t, Domain{GX: 4, GY: 4, GT: 10}, 1, 1, 1, 1)
+	g, err := NewGrid(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two hot runs in one column, one in another.
+	g.Set(1, 1, 2, 5)
+	g.Set(1, 1, 3, 6)
+	g.Set(1, 1, 7, 9)
+	g.Set(3, 0, 0, 4)
+	boxes := g.Threshold(4)
+	if len(boxes) != 3 {
+		t.Fatalf("got %d boxes, want 3: %+v", len(boxes), boxes)
+	}
+	want := map[Box]bool{
+		{X0: 1, X1: 1, Y0: 1, Y1: 1, T0: 2, T1: 3}: true,
+		{X0: 1, X1: 1, Y0: 1, Y1: 1, T0: 7, T1: 7}: true,
+		{X0: 3, X1: 3, Y0: 0, Y1: 0, T0: 0, T1: 0}: true,
+	}
+	for _, b := range boxes {
+		if !want[b] {
+			t.Errorf("unexpected box %+v", b)
+		}
+	}
+	if n := len(g.Threshold(100)); n != 0 {
+		t.Errorf("level above max should give no boxes, got %d", n)
+	}
+}

@@ -1,0 +1,223 @@
+// Package grid provides the spatial substrate for space-time kernel density
+// estimation: event points, the continuous domain, its discretization into
+// voxels, the dense 3-D density grid, integer box algebra, subdomain
+// decompositions, and memory-budget accounting.
+//
+// Conventions follow Table 1 of Saule et al., "Parallel Space-Time Kernel
+// Density Estimation" (ICPP 2017): lowercase quantities (hs, ht, gx, ...)
+// live in domain space, uppercase quantities (Hs, Ht, Gx, ...) are measured
+// in voxels.
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is an event localized in two spatial dimensions and time, in domain
+// coordinates (e.g. meters and days).
+type Point struct {
+	X, Y, T float64
+}
+
+// Domain is the axis-aligned region of space-time covered by the analysis.
+// It spans [X0, X0+GX) x [Y0, Y0+GY) x [T0, T0+GT) in domain units.
+type Domain struct {
+	X0, Y0, T0 float64 // origin of the domain
+	GX, GY, GT float64 // extent of the domain (gx, gy, gt in the paper)
+}
+
+// Contains reports whether p lies inside the domain.
+func (d Domain) Contains(p Point) bool {
+	return p.X >= d.X0 && p.X < d.X0+d.GX &&
+		p.Y >= d.Y0 && p.Y < d.Y0+d.GY &&
+		p.T >= d.T0 && p.T < d.T0+d.GT
+}
+
+// Spec fully describes a discretized STKDE problem: the continuous domain,
+// the spatial and temporal resolutions, and the kernel bandwidths. The
+// voxel-space quantities (Gx, Gy, Gt, Hs, Ht) are derived on construction.
+type Spec struct {
+	Domain Domain
+
+	SRes float64 // spatial resolution (domain units per voxel edge)
+	TRes float64 // temporal resolution (domain units per voxel edge)
+
+	HS float64 // spatial bandwidth hs in domain units
+	HT float64 // temporal bandwidth ht in domain units
+
+	Gx, Gy, Gt int // grid size in voxels: ceil(g/res)
+	Hs, Ht     int // bandwidth in voxels: ceil(h/res)
+}
+
+// NewSpec validates the inputs and derives the voxel-space quantities.
+func NewSpec(d Domain, sres, tres, hs, ht float64) (Spec, error) {
+	switch {
+	case d.GX <= 0 || d.GY <= 0 || d.GT <= 0:
+		return Spec{}, fmt.Errorf("grid: domain extents must be positive, got (%g, %g, %g)", d.GX, d.GY, d.GT)
+	case sres <= 0 || tres <= 0:
+		return Spec{}, fmt.Errorf("grid: resolutions must be positive, got sres=%g tres=%g", sres, tres)
+	case hs <= 0 || ht <= 0:
+		return Spec{}, fmt.Errorf("grid: bandwidths must be positive, got hs=%g ht=%g", hs, ht)
+	}
+	s := Spec{
+		Domain: d,
+		SRes:   sres, TRes: tres,
+		HS: hs, HT: ht,
+		Gx: int(math.Ceil(d.GX / sres)),
+		Gy: int(math.Ceil(d.GY / sres)),
+		Gt: int(math.Ceil(d.GT / tres)),
+		Hs: int(math.Ceil(hs / sres)),
+		Ht: int(math.Ceil(ht / tres)),
+	}
+	if s.Gx <= 0 || s.Gy <= 0 || s.Gt <= 0 {
+		return Spec{}, fmt.Errorf("grid: derived grid is empty: %dx%dx%d", s.Gx, s.Gy, s.Gt)
+	}
+	return s, nil
+}
+
+// Voxels returns the total number of voxels Gx*Gy*Gt.
+func (s Spec) Voxels() int { return s.Gx * s.Gy * s.Gt }
+
+// Bytes returns the memory footprint of one density grid for this spec.
+func (s Spec) Bytes() int64 { return int64(s.Voxels()) * 8 }
+
+// Bounds returns the full voxel box [0,Gx-1]x[0,Gy-1]x[0,Gt-1].
+func (s Spec) Bounds() Box {
+	return Box{0, s.Gx - 1, 0, s.Gy - 1, 0, s.Gt - 1}
+}
+
+// CenterX returns the continuous x coordinate sampled by voxel column X.
+// Voxels sample cell centers: x = X0 + (X+1/2)*sres.
+func (s Spec) CenterX(X int) float64 { return s.Domain.X0 + (float64(X)+0.5)*s.SRes }
+
+// CenterY returns the continuous y coordinate sampled by voxel row Y.
+func (s Spec) CenterY(Y int) float64 { return s.Domain.Y0 + (float64(Y)+0.5)*s.SRes }
+
+// CenterT returns the continuous t coordinate sampled by voxel layer T.
+func (s Spec) CenterT(T int) float64 { return s.Domain.T0 + (float64(T)+0.5)*s.TRes }
+
+// VoxelOf returns the voxel containing point p, clamped to the grid so that
+// boundary points (p exactly on the far domain edge) map to the last voxel.
+func (s Spec) VoxelOf(p Point) (X, Y, T int) {
+	X = clamp(int(math.Floor((p.X-s.Domain.X0)/s.SRes)), 0, s.Gx-1)
+	Y = clamp(int(math.Floor((p.Y-s.Domain.Y0)/s.SRes)), 0, s.Gy-1)
+	T = clamp(int(math.Floor((p.T-s.Domain.T0)/s.TRes)), 0, s.Gt-1)
+	return
+}
+
+// InfluenceBox returns the voxel box that can possibly receive density from
+// point p: the point's voxel extended by (Hs, Hs, Ht) and clipped to the
+// grid. Every voxel whose center lies within the continuous bandwidth
+// cylinder of p is contained in this box (see TestInfluenceBoxCovers).
+func (s Spec) InfluenceBox(p Point) Box {
+	X, Y, T := s.VoxelOf(p)
+	b := Box{X - s.Hs, X + s.Hs, Y - s.Hs, Y + s.Hs, T - s.Ht, T + s.Ht}
+	return b.Clip(s.Bounds())
+}
+
+// NormFactor returns 1/(n*hs^2*ht), the normalization constant of the
+// density estimate for n points.
+func (s Spec) NormFactor(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 1.0 / (float64(n) * s.HS * s.HS * s.HT)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Grid is a dense 3-D array of density estimates, the voxel-space output of
+// STKDE. Data is laid out with T innermost (stride 1), then Y, then X, so
+// the per-point cylinder update streams over contiguous memory.
+type Grid struct {
+	Spec Spec
+	Data []float64
+
+	budget *Budget
+}
+
+// NewGrid allocates a zeroed grid for the spec, charging the budget if one
+// is provided. It returns ErrMemoryBudget if the allocation would exceed
+// the budget.
+//
+// The voxels are explicitly written (Algorithm 2's "for all voxels:
+// stkde = 0"): Go's make returns lazily-mapped zero pages, and without the
+// explicit first touch the page-fault cost the paper attributes to the
+// initialization phase would silently migrate into the compute phase,
+// hiding the init-bound behaviour of sparse instances (Figure 7).
+func NewGrid(s Spec, b *Budget) (*Grid, error) {
+	if err := b.Alloc(s.Bytes()); err != nil {
+		return nil, err
+	}
+	data := make([]float64, s.Voxels())
+	for i := range data {
+		data[i] = 0
+	}
+	return &Grid{Spec: s, Data: data, budget: b}, nil
+}
+
+// Release returns the grid's memory charge to its budget. The grid must not
+// be used afterwards.
+func (g *Grid) Release() {
+	if g.budget != nil {
+		g.budget.Free(g.Spec.Bytes())
+		g.budget = nil
+	}
+	g.Data = nil
+}
+
+// Idx returns the flat index of voxel (X, Y, T).
+func (g *Grid) Idx(X, Y, T int) int {
+	return (X*g.Spec.Gy+Y)*g.Spec.Gt + T
+}
+
+// At returns the density estimate at voxel (X, Y, T).
+func (g *Grid) At(X, Y, T int) float64 { return g.Data[g.Idx(X, Y, T)] }
+
+// Set stores a density estimate at voxel (X, Y, T).
+func (g *Grid) Set(X, Y, T int, v float64) { g.Data[g.Idx(X, Y, T)] = v }
+
+// Add accumulates a density contribution at voxel (X, Y, T).
+func (g *Grid) Add(X, Y, T int, v float64) { g.Data[g.Idx(X, Y, T)] += v }
+
+// Sum returns the sum of all voxel densities. Multiplying by sres^2*tres
+// approximates the integral of the density estimate over the domain.
+func (g *Grid) Sum() float64 {
+	var s float64
+	for _, v := range g.Data {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum voxel density and its voxel coordinates.
+func (g *Grid) Max() (v float64, X, Y, T int) {
+	v = math.Inf(-1)
+	best := 0
+	for i, d := range g.Data {
+		if d > v {
+			v, best = d, i
+		}
+	}
+	gt, gy := g.Spec.Gt, g.Spec.Gy
+	T = best % gt
+	Y = (best / gt) % gy
+	X = best / (gt * gy)
+	return
+}
+
+// Zero resets every voxel to zero.
+func (g *Grid) Zero() {
+	for i := range g.Data {
+		g.Data[i] = 0
+	}
+}

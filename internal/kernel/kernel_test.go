@@ -1,0 +1,170 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func allSpatial() []Spatial {
+	return []Spatial{
+		Epanechnikov2D{}, Quartic2D{}, Triweight2D{}, Uniform2D{}, Cone2D{},
+		NewTruncGauss2D(1.0 / 3),
+	}
+}
+
+func allTemporal() []Temporal {
+	return []Temporal{
+		Epanechnikov1D{}, Quartic1D{}, Triweight1D{}, Uniform1D{}, Triangle1D{},
+		NewTruncGauss1D(1.0 / 3),
+	}
+}
+
+// TestSpatialNormalization numerically integrates every spatial kernel over
+// the unit disk; a proper density kernel must integrate to 1.
+func TestSpatialNormalization(t *testing.T) {
+	const n = 800
+	h := 2.0 / n
+	for _, k := range allSpatial() {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			u := -1 + (float64(i)+0.5)*h
+			for j := 0; j < n; j++ {
+				v := -1 + (float64(j)+0.5)*h
+				sum += k.Eval(u, v)
+			}
+		}
+		sum *= h * h
+		if math.Abs(sum-1) > 5e-3 {
+			t.Errorf("%s integrates to %.5f, want 1", k.Name(), sum)
+		}
+	}
+}
+
+// TestTemporalNormalization numerically integrates every temporal kernel
+// over [-1, 1].
+func TestTemporalNormalization(t *testing.T) {
+	const n = 200000
+	h := 2.0 / n
+	for _, k := range allTemporal() {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += k.Eval(-1 + (float64(i)+0.5)*h)
+		}
+		sum *= h
+		if math.Abs(sum-1) > 1e-4 {
+			t.Errorf("%s integrates to %.6f, want 1", k.Name(), sum)
+		}
+	}
+}
+
+// TestCompactSupport: every kernel must vanish outside its support; the
+// point-based algorithms rely on this to visit only the bandwidth cylinder.
+func TestCompactSupport(t *testing.T) {
+	check := func(a, b uint16) bool {
+		// Random direction scaled to radius >= 1.
+		ang := 2 * math.Pi * float64(a) / 65536
+		r := 1 + 3*float64(b)/65536
+		u, v := r*math.Cos(ang), r*math.Sin(ang)
+		for _, k := range allSpatial() {
+			if k.Eval(u, v) != 0 {
+				return false
+			}
+		}
+		for _, k := range allTemporal() {
+			if k.Eval(r) != 0 || k.Eval(-r) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonNegativeAndSymmetric: kernels are densities (non-negative) and
+// radially/axially symmetric, the property PB-SYM exploits.
+func TestNonNegativeAndSymmetric(t *testing.T) {
+	check := func(a, b uint16) bool {
+		u := -1 + 2*float64(a)/65536
+		v := -1 + 2*float64(b)/65536
+		for _, k := range allSpatial() {
+			e := k.Eval(u, v)
+			if e < 0 || math.IsNaN(e) {
+				return false
+			}
+			if e != k.Eval(-u, v) || e != k.Eval(u, -v) || e != k.Eval(v, u) {
+				return false
+			}
+		}
+		for _, k := range allTemporal() {
+			e := k.Eval(u)
+			if e < 0 || math.IsNaN(e) || e != k.Eval(-u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperKernelValues pins the default kernels to the paper's formulas.
+func TestPaperKernelValues(t *testing.T) {
+	ks := Epanechnikov2D{}
+	kt := Epanechnikov1D{}
+	if got, want := ks.Eval(0, 0), 2/math.Pi; math.Abs(got-want) > 1e-15 {
+		t.Errorf("ks(0,0) = %g, want %g", got, want)
+	}
+	if got, want := ks.Eval(0.5, 0.5), (2/math.Pi)*0.5; math.Abs(got-want) > 1e-15 {
+		t.Errorf("ks(.5,.5) = %g, want %g", got, want)
+	}
+	if got, want := kt.Eval(0), 0.75; got != want {
+		t.Errorf("kt(0) = %g, want %g", got, want)
+	}
+	if got, want := kt.Eval(0.5), 0.75*0.75; math.Abs(got-want) > 1e-15 {
+		t.Errorf("kt(.5) = %g, want %g", got, want)
+	}
+}
+
+// TestDecayMonotonic: density weight decreases with distance for the decay
+// kernels.
+func TestDecayMonotonic(t *testing.T) {
+	for _, k := range []Spatial{Epanechnikov2D{}, Quartic2D{}, Triweight2D{}, Cone2D{}, NewTruncGauss2D(1.0 / 3)} {
+		prev := math.Inf(1)
+		for r := 0.0; r < 1.0; r += 0.01 {
+			e := k.Eval(r, 0)
+			if e > prev+1e-12 {
+				t.Errorf("%s not monotonic at r=%.2f", k.Name(), r)
+				break
+			}
+			prev = e
+		}
+	}
+}
+
+func TestByNameRoundTrip(t *testing.T) {
+	for _, k := range allSpatial() {
+		got := SpatialByName(k.Name())
+		if got == nil || got.Name() != k.Name() {
+			t.Errorf("SpatialByName(%q) failed", k.Name())
+		}
+	}
+	for _, k := range allTemporal() {
+		got := TemporalByName(k.Name())
+		if got == nil || got.Name() != k.Name() {
+			t.Errorf("TemporalByName(%q) failed", k.Name())
+		}
+	}
+	if SpatialByName("nope") != nil || TemporalByName("nope") != nil {
+		t.Error("unknown names should return nil")
+	}
+	if SpatialByName("").Name() != DefaultSpatial().Name() {
+		t.Error("empty name should return the default spatial kernel")
+	}
+	if TemporalByName("").Name() != DefaultTemporal().Name() {
+		t.Error("empty name should return the default temporal kernel")
+	}
+}

@@ -1,0 +1,149 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/grid"
+)
+
+func testSpec(t *testing.T, gx, gy, gt int, hs, ht float64) grid.Spec {
+	t.Helper()
+	s, err := grid.NewSpec(grid.Domain{GX: float64(gx), GY: float64(gy), GT: float64(gt)},
+		1, 1, hs, ht)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPredictCoversStrategies(t *testing.T) {
+	spec := testSpec(t, 64, 64, 48, 4, 3)
+	pts := data.Epidemic{}.Generate(5000, spec.Domain, 1)
+	w := NewWorkload(pts, spec, [3]int{8, 8, 8})
+	preds := Predict(w, DefaultMachine(8, 0))
+	want := map[string]bool{
+		core.AlgPBSYM: false, core.AlgPBSYMDR: false, core.AlgPBSYMDD: false,
+		core.AlgPBSYMPD: false, core.AlgPBSYMPDSCHED: false, core.AlgPBSYMPDSCHREP: false,
+	}
+	for _, p := range preds {
+		if _, ok := want[p.Algorithm]; !ok {
+			t.Errorf("unexpected prediction for %s", p.Algorithm)
+		}
+		want[p.Algorithm] = true
+		if p.Seconds <= 0 || p.Bytes <= 0 {
+			t.Errorf("%s: non-positive prediction %+v", p.Algorithm, p)
+		}
+	}
+	for alg, seen := range want {
+		if !seen {
+			t.Errorf("no prediction for %s", alg)
+		}
+	}
+	// Sorted by feasibility then time.
+	for i := 1; i < len(preds); i++ {
+		if preds[i-1].Feasible == preds[i].Feasible && preds[i-1].Seconds > preds[i].Seconds {
+			t.Error("predictions not sorted by time")
+		}
+	}
+}
+
+// TestMemoryFeasibility: DR must be infeasible when P grids exceed memory,
+// and Pick must then avoid it.
+func TestMemoryFeasibility(t *testing.T) {
+	spec := testSpec(t, 128, 128, 64, 2, 2)
+	pts := data.Uniform{}.Generate(2000, spec.Domain, 2)
+	w := NewWorkload(pts, spec, [3]int{4, 4, 4})
+	m := DefaultMachine(16, 3*spec.Bytes()) // fits 3 grids, not 16
+	best, preds := Pick(w, m)
+	for _, p := range preds {
+		if p.Algorithm == core.AlgPBSYMDR && p.Feasible {
+			t.Error("DR should be infeasible under a 3-grid budget")
+		}
+	}
+	if best == core.AlgPBSYMDR {
+		t.Error("Pick chose an infeasible strategy")
+	}
+}
+
+// TestInitBoundPrefersNonReplicating: a huge sparse grid (Flu-like) is
+// init-bound, so the model must not pick DR (which multiplies init work).
+func TestInitBoundPrefersNonReplicating(t *testing.T) {
+	spec := testSpec(t, 300, 300, 300, 2, 2) // 27M voxels
+	pts := data.SparseGlobal{}.Generate(3000, spec.Domain, 3)
+	w := NewWorkload(pts, spec, [3]int{8, 8, 8})
+	best, _ := Pick(w, DefaultMachine(16, 0))
+	if best == core.AlgPBSYMDR {
+		t.Errorf("init-bound instance should not pick DR, got %s", best)
+	}
+}
+
+// TestComputeBoundPrefersParallel: a dense compute-heavy instance must not
+// stay sequential.
+func TestComputeBoundPrefersParallel(t *testing.T) {
+	spec := testSpec(t, 40, 40, 30, 8, 6)
+	pts := data.Hotspot{}.Generate(200000, spec.Domain, 4)
+	w := NewWorkload(pts, spec, [3]int{4, 4, 4})
+	best, preds := Pick(w, DefaultMachine(16, 0))
+	if best == core.AlgPBSYM {
+		t.Errorf("compute-bound instance picked the sequential strategy; preds=%+v", preds)
+	}
+}
+
+// TestModelAgainstMeasurement is the validation loop of examples/strategyselect:
+// the model's best strategy should be within a reasonable factor of the
+// measured best on a small instance.
+func TestModelAgainstMeasurement(t *testing.T) {
+	spec := testSpec(t, 48, 48, 32, 4, 3)
+	pts := data.Epidemic{}.Generate(30000, spec.Domain, 9)
+	w := NewWorkload(pts, spec, [3]int{4, 4, 4})
+	m := Calibrate(4, 0)
+	best, _ := Pick(w, m)
+
+	run := func(alg string) float64 {
+		res, err := core.Estimate(alg, pts, spec, core.Options{Threads: 4, Decomp: [3]int{4, 4, 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Phases.Total().Seconds()
+	}
+	tBest := run(best)
+	candidates := []string{core.AlgPBSYM, core.AlgPBSYMDR, core.AlgPBSYMDD, core.AlgPBSYMPDSCHED}
+	fastest := 1e18
+	for _, alg := range candidates {
+		if tm := run(alg); tm < fastest {
+			fastest = tm
+		}
+	}
+	if tBest > 5*fastest {
+		t.Errorf("model picked %s (%.4fs), measured best %.4fs: off by >5x", best, tBest, fastest)
+	}
+}
+
+func TestCalibrateProducesPositiveRates(t *testing.T) {
+	m := Calibrate(2, 1<<30)
+	if m.InitBytesPerSec <= 0 || m.UpdatePerSec <= 0 ||
+		m.SpatialEvalPerSec <= 0 || m.TemporalEvalPerSec <= 0 {
+		t.Errorf("non-positive rates: %+v", m)
+	}
+	if m.Threads != 2 || m.Mem != 1<<30 {
+		t.Error("threads/mem not carried through")
+	}
+}
+
+func TestNewWorkloadLoads(t *testing.T) {
+	spec := testSpec(t, 40, 40, 40, 2, 2)
+	pts := data.Uniform{}.Generate(1234, spec.Domain, 5)
+	w := NewWorkload(pts, spec, [3]int{4, 4, 4})
+	var sum float64
+	for _, l := range w.CellLoads {
+		sum += l
+	}
+	if int(sum) != len(pts) {
+		t.Errorf("cell loads sum to %d, want %d", int(sum), len(pts))
+	}
+	if w.PDDecomp[0] < 1 || len(w.CellLoads) != w.PDDecomp[0]*w.PDDecomp[1]*w.PDDecomp[2] {
+		t.Errorf("PD decomposition inconsistent: %+v", w)
+	}
+}

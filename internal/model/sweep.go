@@ -1,0 +1,212 @@
+package model
+
+import (
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/sched"
+	"repro/internal/stencil"
+)
+
+// Sweep predicts parallel-strategy performance per decomposition and thread
+// count by combining calibrated single-core rates with exact work
+// accounting (including DD's cut-cylinder recomputation) and list-schedule
+// simulation of the dependency structure.
+//
+// This is the full form of the Section 6.5 parametric model: it lets the
+// benchmark harness reproduce the *shape* of the paper's 16-thread speedup
+// figures on any host, including machines with fewer cores than the paper's
+// Xeon (speedups are modeled for a hypothetical P-core machine whose cores
+// match the calibrated rates).
+type Sweep struct {
+	spec grid.Spec
+	pts  []grid.Point
+	m    Machine
+
+	perPointSec float64 // modeled PB-SYM cost of one full cylinder
+	seqCompute  float64 // n * perPointSec
+	init1       float64 // sequential grid initialization
+}
+
+// NewSweep prepares per-decomposition predictions for one instance.
+func NewSweep(pts []grid.Point, spec grid.Spec, m Machine) *Sweep {
+	s := &Sweep{spec: spec, pts: pts, m: m}
+	w := Workload{Spec: spec, N: len(pts)}
+	upd, ske, tke := w.perPoint()
+	s.perPointSec = upd/m.UpdatePerSec + ske/m.SpatialEvalPerSec + tke/m.TemporalEvalPerSec
+	s.seqCompute = float64(len(pts)) * s.perPointSec
+	s.init1 = m.initTime(float64(spec.Bytes()), 1)
+	return s
+}
+
+// SeqTime returns the modeled sequential PB-SYM time (the speedup
+// denominator of the paper's figures).
+func (s *Sweep) SeqTime() float64 { return s.init1 + s.seqCompute }
+
+// DR predicts PB-SYM-DR with p threads.
+func (s *Sweep) DR(p int) Prediction {
+	if p < 1 {
+		p = 1
+	}
+	gb := float64(s.spec.Bytes())
+	drBytes := gb * float64(p)
+	reduce := 0.0
+	if p > 1 {
+		// Every voxel of p-1 replicas is read and accumulated.
+		sp := float64(p)
+		if sp > s.m.InitMaxSpeedup {
+			sp = s.m.InitMaxSpeedup
+		}
+		reduce = drBytes / (s.m.ReduceBytesPerSec * sp)
+	}
+	return Prediction{
+		Algorithm: core.AlgPBSYMDR,
+		Seconds:   s.m.initTime(drBytes, p) + s.seqCompute/float64(p) + reduce,
+		Bytes:     int64(drBytes),
+	}
+}
+
+// clippedCost returns the modeled PB-SYM cost of processing the clipped
+// part of a cylinder: the invariants are recomputed over the clipped
+// extents (exactly the Figure 4 overhead).
+func (s *Sweep) clippedCost(box grid.Box) float64 {
+	nx, ny, nt := box.Dims()
+	upd := float64(nx * ny * nt)
+	ske := float64(nx * ny)
+	tke := float64(nt)
+	return upd/s.m.UpdatePerSec + ske/s.m.SpatialEvalPerSec + tke/s.m.TemporalEvalPerSec
+}
+
+// DD predicts PB-SYM-DD at one decomposition with p threads, accounting
+// for cut-cylinder work and load imbalance (independent-task simulation).
+func (s *Sweep) DD(decomp [3]int, p int) Prediction {
+	if p < 1 {
+		p = 1
+	}
+	d := grid.NewDecomp(s.spec, decomp[0], decomp[1], decomp[2])
+	cost := make([]float64, d.Cells())
+	for i := range s.pts {
+		ib := s.spec.InfluenceBox(s.pts[i])
+		a0, a1, b0, b1, c0, c1 := d.CellRange(ib)
+		for a := a0; a <= a1; a++ {
+			for b := b0; b <= b1; b++ {
+				for c := c0; c <= c1; c++ {
+					id := d.ID(a, b, c)
+					cost[id] += s.clippedCost(ib.Clip(d.BoxID(id)))
+				}
+			}
+		}
+	}
+	makespan := simulateIndependent(cost, p)
+	return Prediction{
+		Algorithm: core.AlgPBSYMDD,
+		Seconds:   s.m.initTime(float64(s.spec.Bytes()), p) + makespan,
+		Bytes:     s.spec.Bytes(),
+	}
+}
+
+// PDVariant selects the point-decomposition flavor to predict.
+type PDVariant int
+
+// The four PD flavors of Section 5.
+const (
+	PDBarrier  PDVariant = iota // 8 parity sets with barriers (PB-SYM-PD)
+	PDSched                     // load-aware coloring, DAG execution
+	PDRep                       // natural coloring + replication
+	PDSchedRep                  // load-aware coloring + replication
+)
+
+func (v PDVariant) algorithm() string {
+	switch v {
+	case PDBarrier:
+		return core.AlgPBSYMPD
+	case PDSched:
+		return core.AlgPBSYMPDSCHED
+	case PDRep:
+		return core.AlgPBSYMPDREP
+	default:
+		return core.AlgPBSYMPDSCHREP
+	}
+}
+
+// PD predicts a point-decomposition variant at one decomposition with p
+// threads.
+func (s *Sweep) PD(decomp [3]int, p int, variant PDVariant) Prediction {
+	if p < 1 {
+		p = 1
+	}
+	d := grid.NewDecomp(s.spec, decomp[0], decomp[1], decomp[2]).AdjustForPD()
+	lat := stencil.Lattice{A: d.A, B: d.B, C: d.C}
+	w := make([]float64, lat.N())
+	for i := range s.pts {
+		a, b, c := d.CellOf(s.spec.VoxelOf(s.pts[i]))
+		w[d.ID(a, b, c)] += s.perPointSec
+	}
+	gb := float64(s.spec.Bytes())
+	initT := s.m.initTime(gb, p)
+	bytes := s.spec.Bytes()
+
+	switch variant {
+	case PDBarrier:
+		col := stencil.Checkerboard(lat)
+		span := 0.0
+		for cl := 0; cl < col.NumColors; cl++ {
+			var class []float64
+			for v, c := range col.Colors {
+				if c == cl && w[v] > 0 {
+					class = append(class, w[v])
+				}
+			}
+			span += simulateIndependent(class, p)
+		}
+		return Prediction{Algorithm: variant.algorithm(), Seconds: initT + span, Bytes: bytes}
+
+	case PDSched:
+		dag := stencil.Orient(lat, stencil.Greedy(lat, stencil.ByLoadDesc(w)))
+		return Prediction{
+			Algorithm: variant.algorithm(),
+			Seconds:   initT + sched.Simulate(dag, w, p),
+			Bytes:     bytes,
+		}
+
+	default: // PDRep, PDSchedRep
+		order := stencil.NaturalOrder(lat.N())
+		if variant == PDSchedRep {
+			order = stencil.ByLoadDesc(w)
+		}
+		dag := stencil.Orient(lat, stencil.Greedy(lat, order))
+		bounds := s.spec.Bounds()
+		expCount := make([]int, lat.N())
+		for v := range expCount {
+			expCount[v] = d.BoxID(v).Expand(s.spec.Hs, s.spec.Ht).Clip(bounds).Count()
+		}
+		bufSec := func(v, k int) float64 {
+			return float64((k+1)*expCount[v]) * 8 / s.m.InitBytesPerSec
+		}
+		rep := sched.PlanReplication(dag, w, p, bufSec)
+		eff := make([]float64, lat.N())
+		var bufBytes int64
+		for v := range eff {
+			eff[v] = w[v] / float64(rep.Factor[v])
+			if rep.Factor[v] > 1 {
+				eff[v] += bufSec(v, rep.Factor[v])
+				bufBytes += int64(rep.Factor[v]*expCount[v]) * 8
+			}
+		}
+		return Prediction{
+			Algorithm: variant.algorithm(),
+			Seconds:   initT + sched.Simulate(dag, eff, p),
+			Bytes:     bytes + bufBytes,
+		}
+	}
+}
+
+// simulateIndependent list-schedules independent tasks on p machines
+// (heaviest first), the modeled makespan of a dynamic parallel loop.
+func simulateIndependent(cost []float64, p int) float64 {
+	n := len(cost)
+	if n == 0 {
+		return 0
+	}
+	dag := stencil.DAG{N: n, Succs: make([][]int, n), Preds: make([][]int, n)}
+	return sched.Simulate(dag, cost, p)
+}

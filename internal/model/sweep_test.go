@@ -1,0 +1,155 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+func testSweep(t *testing.T) (*Sweep, Machine) {
+	t.Helper()
+	spec := testSpec(t, 60, 60, 40, 4, 3)
+	pts := data.Epidemic{}.Generate(20000, spec.Domain, 3)
+	m := DefaultMachine(16, 0)
+	return NewSweep(pts, spec, m), m
+}
+
+func TestSweepSeqTime(t *testing.T) {
+	s, _ := testSweep(t)
+	if s.SeqTime() <= 0 {
+		t.Fatal("sequential time must be positive")
+	}
+	if s.SeqTime() != s.init1+s.seqCompute {
+		t.Error("SeqTime must be init + compute")
+	}
+}
+
+func TestSweepDR(t *testing.T) {
+	s, _ := testSweep(t)
+	p1 := s.DR(1)
+	p16 := s.DR(16)
+	if p16.Bytes != 16*p1.Bytes {
+		t.Errorf("DR memory must scale with P: %d vs %d", p16.Bytes, p1.Bytes)
+	}
+	if p16.Seconds >= p1.Seconds {
+		t.Error("compute-bound DR should get faster with threads")
+	}
+	if p1.Algorithm != core.AlgPBSYMDR {
+		t.Errorf("algorithm = %s", p1.Algorithm)
+	}
+	if bad := s.DR(0); bad.Seconds <= 0 {
+		t.Error("DR with p<1 must clamp, not fail")
+	}
+}
+
+func TestSweepDDShape(t *testing.T) {
+	s, _ := testSweep(t)
+	seq := s.SeqTime()
+	// A 1x1x1 decomposition has no parallelism in compute. (It models
+	// slightly *less* work than seqCompute because DD accounts for
+	// boundary-clipped cylinders exactly while seqCompute assumes full
+	// cylinders; allow that margin.)
+	coarse := s.DD([3]int{1, 1, 1}, 16)
+	if coarse.Seconds < 0.85*s.seqCompute {
+		t.Errorf("1x1x1 DD (%g) cannot be far below sequential compute (%g)", coarse.Seconds, s.seqCompute)
+	}
+	// A moderate decomposition should show real speedup on this
+	// compute-bound instance.
+	mid := s.DD([3]int{8, 8, 8}, 16)
+	if speed := seq / mid.Seconds; speed < 2 {
+		t.Errorf("8x8x8 DD modeled speedup %.2f, want >= 2", speed)
+	}
+	// Extreme overdecomposition must cost more work than the moderate one.
+	fine := s.DD([3]int{64, 64, 64}, 16)
+	if fine.Seconds < mid.Seconds {
+		t.Errorf("64^3 (%g) should not beat 8^3 (%g) due to cut cylinders", fine.Seconds, mid.Seconds)
+	}
+}
+
+func TestSweepPDVariants(t *testing.T) {
+	s, _ := testSweep(t)
+	d := [3]int{6, 6, 6}
+	barrier := s.PD(d, 16, PDBarrier)
+	sched := s.PD(d, 16, PDSched)
+	rep := s.PD(d, 16, PDSchedRep)
+	if barrier.Algorithm != core.AlgPBSYMPD || sched.Algorithm != core.AlgPBSYMPDSCHED ||
+		rep.Algorithm != core.AlgPBSYMPDSCHREP {
+		t.Fatal("variant to algorithm mapping broken")
+	}
+	if s.PD(d, 16, PDRep).Algorithm != core.AlgPBSYMPDREP {
+		t.Fatal("PDRep mapping broken")
+	}
+	// The DAG schedule can never be slower than the barrier schedule by
+	// more than scheduling noise (it strictly relaxes the constraints) on
+	// the same coloring family; allow 10% slack since colorings differ.
+	if sched.Seconds > barrier.Seconds*1.1 {
+		t.Errorf("PD-SCHED modeled %g much worse than PD %g", sched.Seconds, barrier.Seconds)
+	}
+	// Replication never loses time in the model (the planner refuses
+	// harmful splits) and may add buffer memory.
+	if rep.Seconds > sched.Seconds*1.05 {
+		t.Errorf("replication worsened the modeled schedule: %g vs %g", rep.Seconds, sched.Seconds)
+	}
+	if rep.Bytes < sched.Bytes {
+		t.Error("replication cannot reduce memory")
+	}
+}
+
+// TestSweepPDRepOnClustered: a single dominant cell forces replication and
+// extra buffer bytes.
+func TestSweepPDRepOnClustered(t *testing.T) {
+	spec := testSpec(t, 48, 48, 32, 3, 3)
+	pts := data.Epidemic{Clusters: 1}.Generate(50000, spec.Domain, 5)
+	s := NewSweep(pts, spec, DefaultMachine(16, 0))
+	d := [3]int{4, 4, 4}
+	sched := s.PD(d, 16, PDSched)
+	rep := s.PD(d, 16, PDSchedRep)
+	if rep.Seconds >= sched.Seconds {
+		t.Errorf("replication should shorten the clustered schedule: %g vs %g",
+			rep.Seconds, sched.Seconds)
+	}
+	if rep.Bytes <= sched.Bytes {
+		t.Error("replication buffers not accounted")
+	}
+}
+
+// TestSweepInitBound: on a huge sparse grid every strategy converges to the
+// init saturation plateau.
+func TestSweepInitBound(t *testing.T) {
+	spec := testSpec(t, 200, 200, 200, 2, 2) // 8M voxels
+	pts := data.SparseGlobal{}.Generate(1000, spec.Domain, 7)
+	m := DefaultMachine(16, 0)
+	s := NewSweep(pts, spec, m)
+	seq := s.SeqTime()
+	for _, pred := range []Prediction{
+		s.DD([3]int{8, 8, 8}, 16),
+		s.PD([3]int{8, 8, 8}, 16, PDSched),
+	} {
+		speed := seq / pred.Seconds
+		if speed > m.InitMaxSpeedup+0.5 {
+			t.Errorf("%s modeled speedup %.2f exceeds the init plateau %g",
+				pred.Algorithm, speed, m.InitMaxSpeedup)
+		}
+	}
+	// And DR is worse than sequential (it multiplies the dominant init).
+	if dr := s.DR(16); seq/dr.Seconds > 1 {
+		t.Errorf("DR on an init-bound instance should not beat sequential, got %.2f",
+			seq/dr.Seconds)
+	}
+}
+
+func TestSimulateIndependentEdge(t *testing.T) {
+	if simulateIndependent(nil, 4) != 0 {
+		t.Error("empty task set must have zero makespan")
+	}
+	got := simulateIndependent([]float64{5, 3, 2}, 1)
+	if math.Abs(got-10) > 1e-12 {
+		t.Errorf("single machine makespan = %g, want 10", got)
+	}
+	got = simulateIndependent([]float64{5, 3, 2}, 3)
+	if math.Abs(got-5) > 1e-12 {
+		t.Errorf("3 machines makespan = %g, want 5", got)
+	}
+}

@@ -1,0 +1,116 @@
+package stencil
+
+// DAG is a dependency graph extracted from a colored stencil graph: every
+// stencil edge is oriented from the endpoint with the lower color to the
+// endpoint with the higher color (Figure 6 of the paper). Because the
+// coloring is proper, no edge connects equal colors and the orientation is
+// acyclic.
+type DAG struct {
+	N     int
+	Succs [][]int
+	Preds [][]int
+}
+
+// Orient builds the dependency DAG implied by a proper coloring of the
+// lattice.
+func Orient(l Lattice, c Coloring) DAG {
+	n := l.N()
+	d := DAG{N: n, Succs: make([][]int, n), Preds: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		l.Neighbors(v, func(nb int) {
+			// Emit each edge once, from the smaller color side, when
+			// visiting the smaller-color endpoint.
+			if c.Colors[v] < c.Colors[nb] {
+				d.Succs[v] = append(d.Succs[v], nb)
+				d.Preds[nb] = append(d.Preds[nb], v)
+			}
+		})
+	}
+	return d
+}
+
+// TotalWork returns T_1, the sum of all task weights.
+func TotalWork(w []float64) float64 {
+	var s float64
+	for _, x := range w {
+		s += x
+	}
+	return s
+}
+
+// CriticalPath returns T_inf, the weight of the heaviest dependency chain
+// in the DAG, together with one chain realizing it (in execution order).
+// Weights are per-vertex processing times.
+func CriticalPath(d DAG, w []float64) (length float64, chain []int) {
+	if d.N == 0 {
+		return 0, nil
+	}
+	// dist[v] = heaviest chain ending at v (inclusive); pred[v] realizes it.
+	dist := make([]float64, d.N)
+	pred := make([]int, d.N)
+	order, ok := TopoOrder(d)
+	if !ok {
+		panic("stencil: DAG has a cycle")
+	}
+	best := 0
+	for i := range pred {
+		pred[i] = -1
+	}
+	for _, v := range order {
+		dist[v] += w[v]
+		if dist[v] > dist[best] {
+			best = v
+		}
+		for _, s := range d.Succs[v] {
+			if dist[v] > dist[s] {
+				dist[s] = dist[v]
+				pred[s] = v
+			}
+		}
+	}
+	for v := best; v != -1; v = pred[v] {
+		chain = append(chain, v)
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return dist[best], chain
+}
+
+// TopoOrder returns a topological order of the DAG using Kahn's algorithm,
+// and whether the graph is acyclic.
+func TopoOrder(d DAG) ([]int, bool) {
+	indeg := make([]int, d.N)
+	for v := 0; v < d.N; v++ {
+		indeg[v] = len(d.Preds[v])
+	}
+	queue := make([]int, 0, d.N)
+	for v := 0; v < d.N; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, d.N)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, s := range d.Succs[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return order, len(order) == d.N
+}
+
+// GrahamBound returns the classic list-scheduling guarantee
+// T_P <= (T_1 - T_inf)/P + T_inf.
+func GrahamBound(t1, tinf float64, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return (t1-tinf)/float64(p) + tinf
+}

@@ -1,0 +1,50 @@
+package stkde
+
+import (
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// Accumulator maintains a streaming STKDE: events are added (or retracted)
+// incrementally without recomputing the volume — the daily-update
+// surveillance workflow of the paper's introduction.
+type Accumulator = core.Accumulator
+
+// NewAccumulator creates an empty streaming estimator on spec.
+func NewAccumulator(spec Spec, opt Options) (*Accumulator, error) {
+	return core.NewAccumulator(spec, opt)
+}
+
+// Query answers exact density queries at arbitrary continuous space-time
+// coordinates without building a grid, using bandwidth-block indexing.
+type Query = core.Query
+
+// NewQuery indexes events for point-wise density evaluation.
+func NewQuery(pts []Point, spec Spec, opt Options) *Query {
+	return core.NewQuery(pts, spec, opt)
+}
+
+// AnalyzeSchedule computes the schedule structure (cells, colors, critical
+// path, Graham bound) of the point-decomposition strategies without running
+// the density computation; loadAware selects the PB-SYM-PD-SCHED coloring.
+func AnalyzeSchedule(pts []Point, spec Spec, opt Options, loadAware bool) (Stats, error) {
+	return core.AnalyzePD(pts, spec, opt, loadAware)
+}
+
+// Distributed-memory simulation (the paper's future-work item): temporal
+// slab sharding across simulated ranks with serialized scatter/gather.
+type (
+	// DistOptions configures a simulated distributed-memory run.
+	DistOptions = dist.Options
+	// DistResult is a distributed estimation outcome (grid plus
+	// communication statistics).
+	DistResult = dist.Result
+	// DistStats reports message counts, bytes moved, and rank balance.
+	DistStats = dist.Stats
+)
+
+// EstimateDistributed computes the STKDE on a simulated distributed-memory
+// machine (see repro/internal/dist for the model).
+func EstimateDistributed(pts []Point, spec Spec, opt DistOptions) (*DistResult, error) {
+	return dist.Estimate(pts, spec, opt)
+}

@@ -1,0 +1,30 @@
+package stkde
+
+import (
+	"io"
+
+	"repro/internal/gio"
+)
+
+// WritePointsCSV writes events as "x,y,t" CSV.
+func WritePointsCSV(w io.Writer, pts []Point) error { return gio.WritePoints(w, pts) }
+
+// ReadPointsCSV reads events from "x,y,t" CSV (header optional, extra
+// columns ignored).
+func ReadPointsCSV(r io.Reader) ([]Point, error) { return gio.ReadPoints(r) }
+
+// WriteGridSnapshot writes a binary snapshot of a density grid.
+func WriteGridSnapshot(w io.Writer, g *Grid) error { return gio.WriteGrid(w, g) }
+
+// ReadGridSnapshot reads a snapshot written by WriteGridSnapshot.
+func ReadGridSnapshot(r io.Reader) (*Grid, error) { return gio.ReadGrid(r) }
+
+// WriteVTK exports the grid as a legacy VTK structured-points file for
+// 3-D visualization (ParaView, VisIt).
+func WriteVTK(w io.Writer, g *Grid, name string) error { return gio.WriteVTK(w, g, name) }
+
+// WritePNGSlice renders temporal slice T of the grid as a PNG heatmap.
+// maxDensity 0 normalizes by the slice's own maximum; gamma 0 uses 0.5.
+func WritePNGSlice(w io.Writer, g *Grid, T int, maxDensity, gamma float64) error {
+	return gio.WritePNGSlice(w, g, T, maxDensity, gamma)
+}
