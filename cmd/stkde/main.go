@@ -33,7 +33,8 @@ func run() error {
 		in        = flag.String("in", "", "input CSV of events (x,y,t); required")
 		algo      = flag.String("algo", stkde.AlgPBSYM, "algorithm: "+strings.Join(stkde.Algorithms(), ", "))
 		auto      = flag.Bool("auto", false, "pick the algorithm with the parametric performance model")
-		threads   = flag.Int("threads", 0, "worker threads (0 = all cores)")
+		ranks     = flag.Int("ranks", 0, "simulate a distributed-memory run on this many ranks (0 = shared-memory); -algo selects the per-rank strategy")
+		threads   = flag.Int("threads", 0, "worker threads (0 = all cores; with -ranks, threads per rank, 0 = 1)")
 		decomp    = flag.String("decomp", "", "subdomain decomposition AxBxC (e.g. 8x8x8)")
 		sres      = flag.Float64("sres", 1, "spatial resolution (domain units per voxel)")
 		tres      = flag.Float64("tres", 1, "temporal resolution (domain units per voxel)")
@@ -92,32 +93,50 @@ func run() error {
 		return fmt.Errorf("unknown temporal kernel %q", *kernelT)
 	}
 
-	var res *stkde.Result
-	if *auto {
-		res, err = stkde.AutoEstimate(pts, spec, opt)
-	} else {
-		res, err = stkde.Estimate(*algo, pts, spec, opt)
-	}
-	if err != nil {
-		return err
+	var g *stkde.Grid
+	switch {
+	case *ranks > 0:
+		if *auto {
+			return fmt.Errorf("-auto and -ranks are mutually exclusive")
+		}
+		res, err := stkde.EstimateDistributed(pts, spec, stkde.DistOptions{
+			Ranks: *ranks, Algorithm: *algo, Local: opt,
+		})
+		if err != nil {
+			return err
+		}
+		g = res.Grid
+		st := res.Stats
+		fmt.Printf("algorithm   %s on %d simulated ranks (temporal slabs)\n", res.Algorithm, st.Ranks)
+		printProblem(spec, len(pts))
+		fmt.Printf("messages    %d (%.2f MB scattered, %.2f MB gathered)\n",
+			st.Messages, float64(st.ScatterBytes)/1e6, float64(st.GatherBytes)/1e6)
+		fmt.Printf("halo        %d replicated points, imbalance %.2f\n",
+			st.ReplicatedPts, st.Imbalance)
+	case *auto:
+		res, err := stkde.AutoEstimate(pts, spec, opt)
+		if err != nil {
+			return err
+		}
+		g = res.Grid
+		printSharedMemory(res, spec, len(pts))
+	default:
+		res, err := stkde.Estimate(*algo, pts, spec, opt)
+		if err != nil {
+			return err
+		}
+		g = res.Grid
+		printSharedMemory(res, spec, len(pts))
 	}
 
-	fmt.Printf("algorithm   %s\n", res.Algorithm)
-	fmt.Printf("events      %d\n", len(pts))
-	fmt.Printf("grid        %dx%dx%d voxels (%.1f MB)\n",
-		spec.Gx, spec.Gy, spec.Gt, float64(spec.Bytes())/1e6)
-	fmt.Printf("bandwidth   Hs=%d Ht=%d voxels\n", spec.Hs, spec.Ht)
-	fmt.Printf("phases      init=%v bin=%v plan=%v compute=%v reduce=%v (total %v)\n",
-		res.Phases.Init, res.Phases.Bin, res.Phases.Plan, res.Phases.Compute,
-		res.Phases.Reduce, res.Phases.Total())
-	maxV, X, Y, T := res.Grid.Max()
+	maxV, X, Y, T := g.Max()
 	fmt.Printf("peak        %.6g at voxel (%d,%d,%d) = (%.6g, %.6g, %.6g)\n",
 		maxV, X, Y, T, spec.CenterX(X), spec.CenterY(Y), spec.CenterT(T))
-	fmt.Printf("mass        %.4f\n", res.Grid.Sum()*spec.SRes*spec.SRes*spec.TRes)
+	fmt.Printf("mass        %.4f\n", g.Sum()*spec.SRes*spec.SRes*spec.TRes)
 
 	if *out != "" {
 		if err := writeFile(*out, func(f *os.File) error {
-			return stkde.WriteGridSnapshot(f, res.Grid)
+			return stkde.WriteGridSnapshot(f, g)
 		}); err != nil {
 			return err
 		}
@@ -125,7 +144,7 @@ func run() error {
 	}
 	if *vtk != "" {
 		if err := writeFile(*vtk, func(f *os.File) error {
-			return stkde.WriteVTK(f, res.Grid, "stkde density")
+			return stkde.WriteVTK(f, g, "stkde density")
 		}); err != nil {
 			return err
 		}
@@ -136,12 +155,12 @@ func run() error {
 		if n < 1 {
 			n = 1
 		}
-		globalMax, _, _, _ := res.Grid.Max()
+		globalMax, _, _, _ := g.Max()
 		for i := 0; i < n; i++ {
 			T := (2*i + 1) * spec.Gt / (2 * n)
 			name := fmt.Sprintf("%s_t%04d.png", *pngPrefix, T)
 			if err := writeFile(name, func(f *os.File) error {
-				return stkde.WritePNGSlice(f, res.Grid, T, globalMax, 0.5)
+				return stkde.WritePNGSlice(f, g, T, globalMax, 0.5)
 			}); err != nil {
 				return err
 			}
@@ -149,6 +168,24 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// printProblem reports the problem shape shared by every run mode.
+func printProblem(spec stkde.Spec, n int) {
+	fmt.Printf("events      %d\n", n)
+	fmt.Printf("grid        %dx%dx%d voxels (%.1f MB)\n",
+		spec.Gx, spec.Gy, spec.Gt, float64(spec.Bytes())/1e6)
+	fmt.Printf("bandwidth   Hs=%d Ht=%d voxels\n", spec.Hs, spec.Ht)
+}
+
+// printSharedMemory reports a shared-memory run: algorithm, problem shape
+// and the per-phase wall-clock breakdown.
+func printSharedMemory(res *stkde.Result, spec stkde.Spec, n int) {
+	fmt.Printf("algorithm   %s\n", res.Algorithm)
+	printProblem(spec, n)
+	fmt.Printf("phases      init=%v bin=%v plan=%v compute=%v reduce=%v (total %v)\n",
+		res.Phases.Init, res.Phases.Bin, res.Phases.Plan, res.Phases.Compute,
+		res.Phases.Reduce, res.Phases.Total())
 }
 
 func resolveDomain(spec string, pts []stkde.Point, hs, ht float64) (stkde.Domain, error) {

@@ -6,4 +6,13 @@
 // (synthetic datasets and the Table 2 benchmark catalog). The command-line
 // tools live under cmd/ and the paper's tables and figures are regenerated
 // by cmd/stkdebench and the benchmarks in bench_test.go.
+//
+// Beyond the paper's shared-memory algorithms, repro/internal/dist
+// implements the paper's future-work item as a simulated distributed-memory
+// estimator: the time axis is sharded into voxel-aligned temporal slabs
+// (one per rank), boundary events are replicated to neighboring slabs (halo
+// exchange), each rank runs any of the twelve shared-memory strategies on
+// its slab, and serialized scatter/gather messages are counted byte by
+// byte. It is exposed as stkde.EstimateDistributed, the -ranks flag of
+// cmd/stkde, and the "dist" experiment of cmd/stkdebench.
 package repro

@@ -100,10 +100,3 @@ func main() {
 	fmt.Printf("distributed run: %d ranks, %d messages, %.1f MB scattered, %.1f MB gathered, imbalance %.2f\n",
 		st.Ranks, st.Messages, float64(st.ScatterBytes)/1e6, float64(st.GatherBytes)/1e6, st.Imbalance)
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -12,6 +12,8 @@
 //	fig13   PB-SYM-PD-SCHED speedup vs decomposition (Figure 13)
 //	fig14   PB-SYM-PD-REP speedup vs decomposition (Figure 14)
 //	fig15   best configuration of every parallel strategy (Figure 15)
+//	dist    rank scaling of the simulated distributed-memory estimator
+//	        (temporal-slab sharding, the paper's future-work item)
 //
 // Absolute times differ from the paper's 2x8-core Xeon; the harness aims to
 // reproduce the qualitative shape: which algorithm wins where, the rough
@@ -43,6 +45,9 @@ type Config struct {
 	// Decomps is the decomposition sweep (default 1,2,4,8,16,32,64 cubes,
 	// the paper's sweep).
 	Decomps [][3]int
+	// Ranks is the simulated rank sweep used by the "dist" experiment
+	// (default 1,2,4,8).
+	Ranks []int
 	// Instances filters the catalog by name; empty means all 21.
 	Instances []string
 	// Budget bounds algorithm memory in bytes; 0 means unlimited. The
@@ -93,6 +98,9 @@ func (c Config) withDefaults() Config {
 			c.Decomps = append(c.Decomps, [3]int{k, k, k})
 		}
 	}
+	if len(c.Ranks) == 0 {
+		c.Ranks = []int{1, 2, 4, 8}
+	}
 	if c.VBOpsLimit <= 0 {
 		c.VBOpsLimit = 2e9
 	}
@@ -128,7 +136,7 @@ type Report struct {
 // Experiments lists the available experiment identifiers in paper order.
 func Experiments() []string {
 	return []string{"table2", "table3", "fig7", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15"}
+		"fig11", "fig12", "fig13", "fig14", "fig15", "dist"}
 }
 
 // Run executes the named experiment.
@@ -158,6 +166,8 @@ func Run(exp string, cfg Config) (*Report, error) {
 		return h.parallelDecompSweep("fig14", "Figure 14: PB-SYM-PD-REP speedup", core.AlgPBSYMPDREP)
 	case "fig15":
 		return h.fig15()
+	case "dist":
+		return h.distScaling()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)",
 		exp, strings.Join(Experiments(), ", "))

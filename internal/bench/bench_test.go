@@ -22,8 +22,8 @@ func quickCfg(out *bytes.Buffer) Config {
 }
 
 func TestExperimentsList(t *testing.T) {
-	if len(Experiments()) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(Experiments()))
 	}
 	var out bytes.Buffer
 	for _, exp := range Experiments() {
@@ -190,6 +190,34 @@ func TestFig15PicksWinners(t *testing.T) {
 		if !algos[alg] {
 			t.Errorf("fig15 missing strategy %s", alg)
 		}
+	}
+}
+
+func TestDistScalingProfile(t *testing.T) {
+	var out bytes.Buffer
+	cfg := quickCfg(&out)
+	cfg.Instances = []string{"Dengue_Lr-Lb"}
+	cfg.Ranks = []int{1, 2, 4}
+	rep, err := Run("dist", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("expected one row per rank count, got %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Extra["messages"] != 2*r.Extra["ranks"] {
+			t.Errorf("R=%v: messages %v, want %v", r.Extra["ranks"], r.Extra["messages"], 2*r.Extra["ranks"])
+		}
+		if r.Extra["gather_bytes"] <= 0 || r.Extra["scatter_bytes"] <= 0 {
+			t.Errorf("R=%v: empty communication profile: %+v", r.Extra["ranks"], r.Extra)
+		}
+		if r.Extra["ranks"] > 1 && r.Extra["replicated"] == 0 {
+			t.Errorf("R=%v: expected halo replication", r.Extra["ranks"])
+		}
+	}
+	if !strings.Contains(out.String(), "rank scaling") {
+		t.Error("missing table banner")
 	}
 }
 

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// distScaling is the rank-scaling experiment of the simulated
+// distributed-memory estimator (the paper's future-work item): every
+// instance is estimated on R temporal-slab ranks for each R in cfg.Ranks,
+// reporting wall-clock time, speedup over one rank, and the communication
+// profile (halo replication, scatter/gather volume, load imbalance) at the
+// largest rank count.
+func (h *harness) distScaling() (*Report, error) {
+	rep := &Report{Exp: "dist", Title: "Distributed simulation: temporal-slab rank scaling"}
+	insts, err := h.instances()
+	if err != nil {
+		return nil, err
+	}
+	headers := []string{"Instance"}
+	for _, r := range h.cfg.Ranks {
+		headers = append(headers, fmt.Sprintf("R=%d", r))
+	}
+	headers = append(headers, "repl pts", "scatter MB", "gather MB", "imb")
+	tw := newTable(h.cfg.Out, headers...)
+	for _, inst := range insts {
+		s, pts, err := h.load(inst)
+		if err != nil {
+			return nil, err
+		}
+		cells := []string{inst.Name}
+		base := 0.0
+		haveBase := false
+		lastOK := false
+		var last dist.Stats
+		for k, r := range h.cfg.Ranks {
+			row := Row{Instance: inst.Name, Algo: "dist", Threads: r}
+			opt := dist.Options{Ranks: r, Local: core.Options{Budget: h.budget(inst, s.Spec)}}
+			for rep := 0; rep < h.cfg.Repeats; rep++ {
+				t0 := time.Now()
+				res, err := dist.Estimate(pts, s.Spec, opt)
+				if err != nil {
+					row.OOM = true
+					break
+				}
+				sec := time.Since(t0).Seconds()
+				last = res.Stats
+				res.Grid.Release()
+				if rep == 0 || sec < row.Seconds {
+					row.Seconds = sec
+				}
+			}
+			lastOK = !row.OOM
+			if row.OOM {
+				rep.Rows = append(rep.Rows, row)
+				cells = append(cells, "OOM")
+				continue
+			}
+			// The speedup baseline is strictly the first (one-rank) entry of
+			// the sweep; if that entry OOMed, speedups are suppressed rather
+			// than silently rebased to a larger rank count.
+			if k == 0 {
+				base, haveBase = row.Seconds, true
+			}
+			cell := fmt.Sprintf("%.3fs", row.Seconds)
+			if haveBase && row.Seconds > 0 {
+				row.Speedup = base / row.Seconds
+				cell = fmt.Sprintf("%.3fs (%.2fx)", row.Seconds, row.Speedup)
+			}
+			row.Extra = map[string]float64{
+				"ranks":         float64(last.Ranks),
+				"messages":      float64(last.Messages),
+				"replicated":    float64(last.ReplicatedPts),
+				"scatter_bytes": float64(last.ScatterBytes),
+				"gather_bytes":  float64(last.GatherBytes),
+				"imbalance":     last.Imbalance,
+			}
+			rep.Rows = append(rep.Rows, row)
+			cells = append(cells, cell)
+		}
+		// The profile columns describe the largest rank count; leave them
+		// blank if that run failed instead of echoing an earlier sweep entry.
+		if lastOK {
+			cells = append(cells,
+				fmt.Sprintf("%d", last.ReplicatedPts),
+				fmt.Sprintf("%.2f", float64(last.ScatterBytes)/1e6),
+				fmt.Sprintf("%.2f", float64(last.GatherBytes)/1e6),
+				fmt.Sprintf("%.2f", last.Imbalance))
+		} else {
+			cells = append(cells, "-", "-", "-", "-")
+		}
+		tw.row(cells...)
+	}
+	tw.flush(rep.Title, h.cfg)
+	return rep, nil
+}

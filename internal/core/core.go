@@ -102,6 +102,14 @@ type Options struct {
 	// (default 1).
 	Chunk int
 
+	// NormN, when positive, overrides the point count n in the 1/(n·hs²·ht)
+	// normalization of the density formula. A distributed rank estimating a
+	// temporal slab (see repro/internal/dist) passes the global dataset size
+	// here: its local point set is only a subset of the full dataset, but
+	// every voxel must be normalized as the full dataset's density. Zero
+	// (the default) normalizes by len(pts).
+	NormN int
+
 	// AdaptiveBandwidth, when non-nil, scales each point's bandwidths
 	// (both hs and ht) by the returned positive factor, implementing the
 	// conclusion's "bandwidth that adapts to the density of the

@@ -41,18 +41,22 @@ type geom struct {
 }
 
 func newCtx(pts []grid.Point, spec grid.Spec, opt Options) ctx {
+	n := len(pts)
+	if opt.NormN > 0 {
+		n = opt.NormN
+	}
 	c := ctx{
 		spec:     spec,
 		sk:       opt.Spatial,
 		tk:       opt.Temporal,
-		n:        len(pts),
+		n:        n,
 		adaptive: opt.AdaptiveBandwidth,
 		hs:       spec.HS,
 		ht:       spec.HT,
 		hs2:      spec.HS * spec.HS,
 		invHS:    1 / spec.HS,
 		invHT:    1 / spec.HT,
-		norm:     spec.NormFactor(len(pts)),
+		norm:     spec.NormFactor(n),
 		boxHs:    spec.Hs,
 		boxHt:    spec.Ht,
 		maxScale: 1,

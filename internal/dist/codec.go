@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// Wire format of the simulated messages. Every byte that a real
+// distributed-memory run would move over the network is actually written
+// with encoding/binary and read back on the receiving side, so ScatterBytes
+// and GatherBytes in Stats are measured, not estimated.
+//
+//	scatter: kind(u32) rank(u32) count(u32) then count x (x, y, t) float64
+//	gather:  kind(u32) rank(u32) t0(u32) voxels(u32) then voxels x float64
+const (
+	msgScatter uint32 = 1
+	msgGather  uint32 = 2
+
+	scatterHeaderBytes = 12
+	gatherHeaderBytes  = 16
+	pointBytes         = 24
+)
+
+var le = binary.LittleEndian
+
+// encodeScatter serializes one rank's local point set (owned + halo).
+func encodeScatter(rank int, pts []grid.Point) []byte {
+	msg := make([]byte, scatterHeaderBytes+pointBytes*len(pts))
+	le.PutUint32(msg[0:], msgScatter)
+	le.PutUint32(msg[4:], uint32(rank))
+	le.PutUint32(msg[8:], uint32(len(pts)))
+	off := scatterHeaderBytes
+	for _, p := range pts {
+		le.PutUint64(msg[off:], math.Float64bits(p.X))
+		le.PutUint64(msg[off+8:], math.Float64bits(p.Y))
+		le.PutUint64(msg[off+16:], math.Float64bits(p.T))
+		off += pointBytes
+	}
+	return msg
+}
+
+// decodeScatter is the receiving side of encodeScatter.
+func decodeScatter(msg []byte) (rank int, pts []grid.Point, err error) {
+	if len(msg) < scatterHeaderBytes || le.Uint32(msg[0:]) != msgScatter {
+		return 0, nil, fmt.Errorf("dist: malformed scatter message (%d bytes)", len(msg))
+	}
+	rank = int(le.Uint32(msg[4:]))
+	count := int(le.Uint32(msg[8:]))
+	if len(msg) != scatterHeaderBytes+pointBytes*count {
+		return 0, nil, fmt.Errorf("dist: scatter message length %d does not match count %d", len(msg), count)
+	}
+	pts = make([]grid.Point, count)
+	off := scatterHeaderBytes
+	for i := range pts {
+		pts[i] = grid.Point{
+			X: math.Float64frombits(le.Uint64(msg[off:])),
+			Y: math.Float64frombits(le.Uint64(msg[off+8:])),
+			T: math.Float64frombits(le.Uint64(msg[off+16:])),
+		}
+		off += pointBytes
+	}
+	return rank, pts, nil
+}
+
+// encodeGather serializes one rank's computed slab: the density values of
+// the local grid plus the root layer t0 where the slab starts.
+func encodeGather(rank, t0 int, data []float64) []byte {
+	msg := make([]byte, gatherHeaderBytes+8*len(data))
+	le.PutUint32(msg[0:], msgGather)
+	le.PutUint32(msg[4:], uint32(rank))
+	le.PutUint32(msg[8:], uint32(t0))
+	le.PutUint32(msg[12:], uint32(len(data)))
+	off := gatherHeaderBytes
+	for _, v := range data {
+		le.PutUint64(msg[off:], math.Float64bits(v))
+		off += 8
+	}
+	return msg
+}
+
+// decodeGather is the receiving side of encodeGather.
+func decodeGather(msg []byte) (rank, t0 int, data []float64, err error) {
+	if len(msg) < gatherHeaderBytes || le.Uint32(msg[0:]) != msgGather {
+		return 0, 0, nil, fmt.Errorf("dist: malformed gather message (%d bytes)", len(msg))
+	}
+	rank = int(le.Uint32(msg[4:]))
+	t0 = int(le.Uint32(msg[8:]))
+	count := int(le.Uint32(msg[12:]))
+	if len(msg) != gatherHeaderBytes+8*count {
+		return 0, 0, nil, fmt.Errorf("dist: gather message length %d does not match count %d", len(msg), count)
+	}
+	data = make([]float64, count)
+	off := gatherHeaderBytes
+	for i := range data {
+		data[i] = math.Float64frombits(le.Uint64(msg[off:]))
+		off += 8
+	}
+	return rank, t0, data, nil
+}

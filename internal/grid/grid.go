@@ -37,6 +37,12 @@ func (d Domain) Contains(p Point) bool {
 // Spec fully describes a discretized STKDE problem: the continuous domain,
 // the spatial and temporal resolutions, and the kernel bandwidths. The
 // voxel-space quantities (Gx, Gy, Gt, Hs, Ht) are derived on construction.
+//
+// A Spec may also describe a temporal sub-spec of a root problem (see
+// SubSpecT): the OT field shifts the voxel frame so that local layer 0
+// corresponds to layer OT of the root grid, while Domain stays the root
+// domain. CenterT and VoxelOf account for the shift, so every estimator
+// evaluates the exact same voxel centers it would in the root frame.
 type Spec struct {
 	Domain Domain
 
@@ -48,6 +54,10 @@ type Spec struct {
 
 	Gx, Gy, Gt int // grid size in voxels: ceil(g/res)
 	Hs, Ht     int // bandwidth in voxels: ceil(h/res)
+
+	// OT is the temporal frame offset in voxels: local layer T samples the
+	// time of root layer T+OT. Zero for a root spec; set by SubSpecT.
+	OT int
 }
 
 // NewSpec validates the inputs and derives the voxel-space quantities.
@@ -95,14 +105,20 @@ func (s Spec) CenterX(X int) float64 { return s.Domain.X0 + (float64(X)+0.5)*s.S
 func (s Spec) CenterY(Y int) float64 { return s.Domain.Y0 + (float64(Y)+0.5)*s.SRes }
 
 // CenterT returns the continuous t coordinate sampled by voxel layer T.
-func (s Spec) CenterT(T int) float64 { return s.Domain.T0 + (float64(T)+0.5)*s.TRes }
+// For a sub-spec the offset makes CenterT(T) bitwise equal to the root
+// spec's CenterT(T+OT), which is what makes sub-spec estimation exact.
+func (s Spec) CenterT(T int) float64 { return s.Domain.T0 + (float64(T+s.OT)+0.5)*s.TRes }
 
 // VoxelOf returns the voxel containing point p, clamped to the grid so that
 // boundary points (p exactly on the far domain edge) map to the last voxel.
+// In a sub-spec, points outside the temporal window clamp to its first or
+// last layer; their influence box then covers a superset of the voxels their
+// bandwidth cylinder reaches, and the kernel distance tests zero the rest —
+// so halo points replicated from a neighboring slab contribute exactly.
 func (s Spec) VoxelOf(p Point) (X, Y, T int) {
 	X = clamp(int(math.Floor((p.X-s.Domain.X0)/s.SRes)), 0, s.Gx-1)
 	Y = clamp(int(math.Floor((p.Y-s.Domain.Y0)/s.SRes)), 0, s.Gy-1)
-	T = clamp(int(math.Floor((p.T-s.Domain.T0)/s.TRes)), 0, s.Gt-1)
+	T = clamp(int(math.Floor((p.T-s.Domain.T0)/s.TRes))-s.OT, 0, s.Gt-1)
 	return
 }
 
