@@ -54,6 +54,11 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("-in, -hs and -ht are required")
 	}
+	if !*auto {
+		if err := validateAlgorithm(*algo); err != nil {
+			return err
+		}
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -210,6 +215,16 @@ func resolveDomain(spec string, pts []stkde.Point, hs, ht float64) (stkde.Domain
 		GY: maxY - minY + 2*hs + 1e-9,
 		GT: maxT - minT + 2*ht + 1e-9,
 	}, nil
+}
+
+// validateAlgorithm rejects unknown algorithm names up front, before any
+// input is read, listing the valid names and how to proceed.
+func validateAlgorithm(name string) error {
+	if stkde.ValidAlgorithm(name) {
+		return nil
+	}
+	return fmt.Errorf("unknown algorithm %q\nvalid algorithms:\n  %s\nusage: pass -algo with one of the names above, or -auto to let the performance model choose",
+		name, strings.Join(stkde.Algorithms(), "\n  "))
 }
 
 func parseDecomp(s string) ([3]int, error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/stkde"
@@ -56,6 +57,29 @@ func TestResolveDomainFromPoints(t *testing.T) {
 	for _, p := range pts {
 		if !d.Contains(p) {
 			t.Errorf("point %+v outside derived domain %+v", p, d)
+		}
+	}
+}
+
+func TestValidateAlgorithm(t *testing.T) {
+	for _, alg := range stkde.Algorithms() {
+		if err := validateAlgorithm(alg); err != nil {
+			t.Errorf("valid algorithm %q rejected: %v", alg, err)
+		}
+	}
+	err := validateAlgorithm("quantum")
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	// The error teaches the caller: every valid name plus a usage hint.
+	for _, alg := range stkde.Algorithms() {
+		if !strings.Contains(err.Error(), alg) {
+			t.Errorf("error does not list %q:\n%s", alg, err)
+		}
+	}
+	for _, hint := range []string{"-algo", "-auto"} {
+		if !strings.Contains(err.Error(), hint) {
+			t.Errorf("error missing usage hint %q:\n%s", hint, err)
 		}
 	}
 }

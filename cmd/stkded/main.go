@@ -1,0 +1,147 @@
+// Command stkded is the STKDE density-serving daemon: a long-running HTTP
+// service that ingests event sets, estimates density cubes on demand with
+// request coalescing and an LRU grid cache, and answers voxel, region and
+// hotspot queries.
+//
+// Usage:
+//
+//	stkded -addr :8377 -cache-mb 512 -workers 8 -algo pb-sym \
+//	       -preload events.csv,more.csv
+//
+// Endpoints (JSON unless noted):
+//
+//	POST /v1/datasets    ingest a CSV body (x,y,t); returns the dataset id
+//	GET  /v1/datasets    list registered datasets
+//	POST /v1/estimate    start/join an estimation job; poll /v1/jobs/{id}
+//	GET  /v1/jobs/{id}   job status, timings, peak and mass when done
+//	GET  /v1/query       density at (x,y,t): cached voxel or exact fallback
+//	GET  /v1/region      probability mass of a voxel box
+//	GET  /v1/hotspots    top-k densest voxels
+//	GET  /healthz        liveness and cache occupancy
+//	GET  /debug/vars     expvar metrics (cache hits/misses, latency p50/p99)
+//
+// SIGINT/SIGTERM drain the HTTP listener and in-flight estimations before
+// exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/stkde"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stkded:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed command line.
+type options struct {
+	addr    string
+	cfg     stkde.ServeConfig
+	preload []string
+	drain   time.Duration
+}
+
+// parseArgs parses the command line into options, kept separate from run
+// so tests can exercise flag handling without binding a listener.
+func parseArgs(args []string) (options, error) {
+	fs := flag.NewFlagSet("stkded", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8377", "listen address")
+		cacheMB = fs.Int64("cache-mb", 256, "grid cache budget in MB")
+		workers = fs.Int("workers", 0, "concurrent estimations (0 = all cores)")
+		threads = fs.Int("threads", 1, "threads per estimation")
+		algo    = fs.String("algo", stkde.AlgPBSYM, "default algorithm: "+strings.Join(stkde.Algorithms(), ", "))
+		preload = fs.String("preload", "", "comma-separated CSV files to ingest at startup")
+		drain   = fs.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return options{}, err // includes flag.ErrHelp; run maps it to exit 0
+	}
+	if !stkde.ValidAlgorithm(*algo) {
+		return options{}, fmt.Errorf("unknown algorithm %q; valid algorithms: %s",
+			*algo, strings.Join(stkde.Algorithms(), ", "))
+	}
+	o := options{
+		addr: *addr,
+		cfg: stkde.ServeConfig{
+			CacheBytes:       *cacheMB << 20,
+			Workers:          *workers,
+			Threads:          *threads,
+			DefaultAlgorithm: *algo,
+		},
+		drain: *drain,
+	}
+	if *preload != "" {
+		o.preload = strings.Split(*preload, ",")
+	}
+	return o, nil
+}
+
+func run(args []string) error {
+	o, err := parseArgs(args)
+	if errors.Is(err, flag.ErrHelp) {
+		return nil // -h: usage already printed, exit 0
+	}
+	if err != nil {
+		return err
+	}
+	srv := stkde.NewDensityServer(o.cfg)
+	for _, name := range o.preload {
+		name = strings.TrimSpace(name)
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		pts, err := stkde.ReadPointsCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", name, err)
+		}
+		id, err := srv.AddDataset(pts)
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", name, err)
+		}
+		fmt.Printf("preloaded   %s as %s (%d events)\n", name, id, len(pts))
+	}
+
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	fmt.Printf("listening   %s (cache %d MB, %s default)\n",
+		o.addr, o.cfg.CacheBytes>>20, o.cfg.DefaultAlgorithm)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("shutting down: draining requests and in-flight estimations")
+	dctx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return err
+	}
+	return srv.Shutdown(dctx)
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/stkde"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8377" {
+		t.Errorf("addr = %q", o.addr)
+	}
+	if o.cfg.CacheBytes != 256<<20 {
+		t.Errorf("cache = %d bytes", o.cfg.CacheBytes)
+	}
+	if o.cfg.DefaultAlgorithm != stkde.AlgPBSYM {
+		t.Errorf("algo = %q", o.cfg.DefaultAlgorithm)
+	}
+	if o.cfg.Threads != 1 || o.cfg.Workers != 0 {
+		t.Errorf("threads/workers = %d/%d", o.cfg.Threads, o.cfg.Workers)
+	}
+	if len(o.preload) != 0 {
+		t.Errorf("preload = %v", o.preload)
+	}
+}
+
+func TestParseArgsExplicit(t *testing.T) {
+	o, err := parseArgs([]string{"-addr", ":9999", "-cache-mb", "64",
+		"-workers", "3", "-threads", "2", "-algo", stkde.AlgPBSYMDR,
+		"-preload", "a.csv,b.csv", "-drain", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":9999" || o.cfg.CacheBytes != 64<<20 || o.cfg.Workers != 3 ||
+		o.cfg.Threads != 2 || o.cfg.DefaultAlgorithm != stkde.AlgPBSYMDR {
+		t.Errorf("options = %+v", o)
+	}
+	if len(o.preload) != 2 || o.preload[0] != "a.csv" || o.preload[1] != "b.csv" {
+		t.Errorf("preload = %v", o.preload)
+	}
+	if o.drain != 5*time.Second {
+		t.Errorf("drain = %v", o.drain)
+	}
+}
+
+func TestParseArgsRejectsUnknownAlgorithm(t *testing.T) {
+	_, err := parseArgs([]string{"-algo", "quantum"})
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	for _, alg := range stkde.Algorithms() {
+		if !bytes.Contains([]byte(err.Error()), []byte(alg)) {
+			t.Fatalf("error %q does not list %q", err, alg)
+		}
+	}
+}
+
+func TestParseArgsRejectsBadFlags(t *testing.T) {
+	if _, err := parseArgs([]string{"-cache-mb", "lots"}); err == nil {
+		t.Fatal("bad -cache-mb accepted")
+	}
+}
+
+// TestHandlerEndToEnd mounts the daemon's handler (as run does) and walks
+// the preload-equivalent ingest path plus the health endpoint.
+func TestHandlerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "events.csv")
+	pts := []stkde.Point{{X: 1, Y: 2, T: 3}, {X: 4, Y: 5, T: 6}}
+	f, err := os.Create(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stkde.WritePointsCSV(f, pts); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	o, err := parseArgs([]string{"-preload", csv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := stkde.NewDensityServer(o.cfg)
+	for _, name := range o.preload {
+		g, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := stkde.ReadPointsCSV(g)
+		g.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.AddDataset(loaded); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" || health["datasets"].(float64) != 1 {
+		t.Fatalf("healthz = %v", health)
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	if err := run([]string{"-h"}); err != nil {
+		t.Fatalf("-h should succeed, got %v", err)
+	}
+}

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/stkde"
@@ -18,29 +20,39 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "stkdegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run parses the arguments and writes the generated CSV to stdout (or the
+// -out file). It is main minus the process machinery, so tests can drive
+// the full flag-parsing and generation path.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("stkdegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		gen      = flag.String("gen", "", "generator: epidemic, socialmedia, sparseglobal, hotspot, uniform")
-		n        = flag.Int("n", 10000, "number of events (with -gen)")
-		domain   = flag.String("domain", "0,0,0,1000,1000,365", "domain as x0,y0,t0,gx,gy,gt (with -gen)")
-		instance = flag.String("instance", "", "Table 2 instance name (e.g. Dengue_Hr-VHb)")
-		scale    = flag.Float64("scale", 0.25, "instance scale in (0,1] (with -instance)")
-		seed     = flag.Uint64("seed", 1, "random seed (with -gen)")
-		out      = flag.String("out", "", "output CSV (default stdout)")
-		list     = flag.Bool("list", false, "list catalog instances and exit")
+		gen      = fs.String("gen", "", "generator: epidemic, socialmedia, sparseglobal, hotspot, uniform")
+		n        = fs.Int("n", 10000, "number of events (with -gen)")
+		domain   = fs.String("domain", "0,0,0,1000,1000,365", "domain as x0,y0,t0,gx,gy,gt (with -gen)")
+		instance = fs.String("instance", "", "Table 2 instance name (e.g. Dengue_Hr-VHb)")
+		scale    = fs.Float64("scale", 0.25, "instance scale in (0,1] (with -instance)")
+		seed     = fs.Uint64("seed", 1, "random seed (with -gen)")
+		out      = fs.String("out", "", "output CSV (default stdout)")
+		list     = fs.Bool("list", false, "list catalog instances and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		return err
+	}
 
 	if *list {
-		fmt.Printf("%-20s %-10s %12s %-16s %4s %4s\n", "Instance", "Dataset", "n", "grid", "Hs", "Ht")
+		fmt.Fprintf(stdout, "%-20s %-10s %12s %-16s %4s %4s\n", "Instance", "Dataset", "n", "grid", "Hs", "Ht")
 		for _, inst := range synth.Catalog() {
-			fmt.Printf("%-20s %-10s %12d %-16s %4d %4d\n", inst.Name, inst.Dataset,
+			fmt.Fprintf(stdout, "%-20s %-10s %12d %-16s %4d %4d\n", inst.Name, inst.Dataset,
 				inst.N, fmt.Sprintf("%dx%dx%d", inst.Gx, inst.Gy, inst.Gt), inst.Hs, inst.Ht)
 		}
 		return nil
@@ -58,25 +70,19 @@ func run() error {
 			return err
 		}
 		pts = s.Points()
-		fmt.Fprintf(os.Stderr, "instance %s at scale %g: %d events, grid %dx%dx%d, Hs=%d Ht=%d\n",
+		fmt.Fprintf(stderr, "instance %s at scale %g: %d events, grid %dx%dx%d, Hs=%d Ht=%d\n",
 			inst.Name, *scale, len(pts), s.Spec.Gx, s.Spec.Gy, s.Spec.Gt, s.Spec.Hs, s.Spec.Ht)
 	case *gen != "":
-		g := synth.GeneratorByName(*gen)
-		if g == nil {
-			return fmt.Errorf("unknown generator %q", *gen)
+		var err error
+		if pts, err = generate(*gen, *n, *domain, *seed); err != nil {
+			return err
 		}
-		var d stkde.Domain
-		if _, err := fmt.Sscanf(*domain, "%f,%f,%f,%f,%f,%f",
-			&d.X0, &d.Y0, &d.T0, &d.GX, &d.GY, &d.GT); err != nil {
-			return fmt.Errorf("bad -domain %q: %w", *domain, err)
-		}
-		pts = g.Generate(*n, d, *seed)
 	default:
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("one of -gen or -instance is required")
 	}
 
-	w := os.Stdout
+	w := io.Writer(stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -86,4 +92,27 @@ func run() error {
 		w = f
 	}
 	return stkde.WritePointsCSV(w, pts)
+}
+
+// generate runs the named raw generator over the parsed domain.
+func generate(genName string, n int, domainSpec string, seed uint64) ([]stkde.Point, error) {
+	g := synth.GeneratorByName(genName)
+	if g == nil {
+		return nil, fmt.Errorf("unknown generator %q", genName)
+	}
+	d, err := parseDomain(domainSpec)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(n, d, seed), nil
+}
+
+// parseDomain parses an "x0,y0,t0,gx,gy,gt" domain specification.
+func parseDomain(s string) (stkde.Domain, error) {
+	var d stkde.Domain
+	if _, err := fmt.Sscanf(s, "%f,%f,%f,%f,%f,%f",
+		&d.X0, &d.Y0, &d.T0, &d.GX, &d.GY, &d.GT); err != nil {
+		return d, fmt.Errorf("bad -domain %q: %w", s, err)
+	}
+	return d, nil
 }

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/stkde"
+)
+
+func TestParseDomain(t *testing.T) {
+	d, err := parseDomain("1,2,3,10,20,30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stkde.Domain{X0: 1, Y0: 2, T0: 3, GX: 10, GY: 20, GT: 30}
+	if d != want {
+		t.Fatalf("domain = %+v, want %+v", d, want)
+	}
+	for _, bad := range []string{"", "1,2,3", "a,b,c,d,e,f"} {
+		if _, err := parseDomain(bad); err == nil {
+			t.Errorf("parseDomain(%q) should fail", bad)
+		}
+	}
+}
+
+func TestGenerateDeterministicForSeed(t *testing.T) {
+	a, err := generate("uniform", 100, "0,0,0,50,50,10", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generate("uniform", 100, "0,0,0,50,50,10", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("got %d / %d events, want 100", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs between identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := generate("uniform", 100, "0,0,0,50,50,10", 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical events")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("nope", 10, "0,0,0,1,1,1", 1); err == nil {
+		t.Error("unknown generator accepted")
+	}
+	if _, err := generate("uniform", 10, "garbage", 1); err == nil {
+		t.Error("bad domain accepted")
+	}
+}
+
+// TestRunFlagParsing exercises the full command path: flags are parsed,
+// the CSV lands on stdout, and a fixed seed reproduces it byte for byte.
+func TestRunFlagParsing(t *testing.T) {
+	args := []string{"-gen", "epidemic", "-n", "25", "-domain", "0,0,0,100,100,30", "-seed", "9"}
+	var out1, out2, errBuf bytes.Buffer
+	if err := run(args, &out1, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &out2, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatal("identical invocations produced different CSV output")
+	}
+	pts, err := stkde.ReadPointsCSV(bytes.NewReader(out1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 25 {
+		t.Fatalf("CSV has %d events, want 25", len(pts))
+	}
+	dom := stkde.Domain{GX: 100, GY: 100, GT: 30}
+	for _, p := range pts {
+		if !dom.Contains(p) {
+			t.Fatalf("event %+v outside the requested domain", p)
+		}
+	}
+}
+
+func TestRunWritesOutFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "events.csv")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-gen", "uniform", "-n", "10", "-out", out}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Error("-out should leave stdout empty")
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pts, err := stkde.ReadPointsCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("file has %d events, want 10", len(pts))
+	}
+}
+
+func TestRunInstanceAndList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Dengue") {
+		t.Error("-list output missing catalog instances")
+	}
+	stdout.Reset()
+	if err := run([]string{"-instance", "Dengue_Lr-Lb", "-scale", "0.05"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := stkde.ReadPointsCSV(bytes.NewReader(stdout.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("instance generation produced no events")
+	}
+	if !strings.Contains(stderr.String(), "Dengue_Lr-Lb") {
+		t.Error("summary line missing from stderr")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, tc := range [][]string{
+		{},                            // neither -gen nor -instance
+		{"-gen", "nope"},              // unknown generator
+		{"-instance", "NotInCatalog"}, // unknown instance
+		{"-badflag"},                  // flag error
+	} {
+		if err := run(tc, io.Discard, io.Discard); err == nil {
+			t.Errorf("run(%v) should fail", tc)
+		}
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, &stdout, &stderr); err != nil {
+		t.Fatalf("-h should succeed, got %v", err)
+	}
+	if !strings.Contains(stderr.String(), "-gen") {
+		t.Error("usage text not printed for -h")
+	}
+}

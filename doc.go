@@ -15,4 +15,12 @@
 // its slab, and serialized scatter/gather messages are counted byte by
 // byte. It is exposed as stkde.EstimateDistributed, the -ranks flag of
 // cmd/stkde, and the "dist" experiment of cmd/stkdebench.
+//
+// repro/internal/serve turns the library into a long-running service: a
+// dataset registry with content-addressed ingestion, an LRU grid cache
+// under a byte budget, singleflight request coalescing over a bounded
+// estimation pool, and JSON HTTP endpoints for estimation jobs, voxel
+// queries, region mass and top-k hotspots. It is exposed as
+// stkde.NewDensityServer, the cmd/stkded daemon, and the "serve"
+// experiment of cmd/stkdebench.
 package repro

@@ -14,6 +14,8 @@
 //	fig15   best configuration of every parallel strategy (Figure 15)
 //	dist    rank scaling of the simulated distributed-memory estimator
 //	        (temporal-slab sharding, the paper's future-work item)
+//	serve   HTTP serving throughput and cache-hit speedup of the
+//	        density-serving subsystem (repro/internal/serve)
 //
 // Absolute times differ from the paper's 2x8-core Xeon; the harness aims to
 // reproduce the qualitative shape: which algorithm wins where, the rough
@@ -136,7 +138,7 @@ type Report struct {
 // Experiments lists the available experiment identifiers in paper order.
 func Experiments() []string {
 	return []string{"table2", "table3", "fig7", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "dist"}
+		"fig11", "fig12", "fig13", "fig14", "fig15", "dist", "serve"}
 }
 
 // Run executes the named experiment.
@@ -168,6 +170,8 @@ func Run(exp string, cfg Config) (*Report, error) {
 		return h.fig15()
 	case "dist":
 		return h.distScaling()
+	case "serve":
+		return h.serveExp()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)",
 		exp, strings.Join(Experiments(), ", "))

@@ -22,8 +22,8 @@ func quickCfg(out *bytes.Buffer) Config {
 }
 
 func TestExperimentsList(t *testing.T) {
-	if len(Experiments()) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(Experiments()))
 	}
 	var out bytes.Buffer
 	for _, exp := range Experiments() {
@@ -250,5 +250,38 @@ func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
 	if c.Scale != 0.15 || c.MaxThreads < 1 || len(c.Decomps) != 7 || c.VBOpsLimit != 2e9 {
 		t.Errorf("unexpected defaults: %+v", c)
+	}
+}
+
+func TestServeExperiment(t *testing.T) {
+	var out bytes.Buffer
+	cfg := quickCfg(&out)
+	cfg.Instances = cfg.Instances[:1]
+	rep, err := Run("serve", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rep.Rows))
+	}
+	row := rep.Rows[0]
+	for _, key := range []string{"ingest_s", "cold_s", "warm_s", "query_qps", "hotspots_s", "estimations"} {
+		if _, ok := row.Extra[key]; !ok {
+			t.Errorf("row missing %q: %+v", key, row.Extra)
+		}
+	}
+	// The warm request is a cache hit: exactly one estimation ran, and the
+	// repeat was not slower than the cold request by more than noise.
+	if row.Extra["estimations"] != 1 {
+		t.Errorf("estimations = %g, want 1 (warm request must hit the cache)", row.Extra["estimations"])
+	}
+	if row.Speedup <= 0 {
+		t.Errorf("cache-hit speedup = %g, want > 0", row.Speedup)
+	}
+	if row.Extra["query_qps"] <= 0 {
+		t.Errorf("query qps = %g", row.Extra["query_qps"])
+	}
+	if !strings.Contains(out.String(), "cache-hit speedup") {
+		t.Error("report title missing from formatted output")
 	}
 }

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/gio"
+	"repro/internal/grid"
+	"repro/internal/serve"
+)
+
+// serveExp measures the serving subsystem end to end over a real HTTP
+// stack (httptest): ingest latency, the cold estimation request, the warm
+// (cache-hit) repeat of the identical request, and the voxel-query
+// throughput against the cached grid. The cold/warm ratio is the cache-hit
+// speedup — the factor the grid cache buys every repeated space-time-cube
+// request.
+func (h *harness) serveExp() (*Report, error) {
+	const queries = 200
+	rep := &Report{Exp: "serve", Title: "Serving: request throughput and cache-hit speedup"}
+	insts, err := h.instances()
+	if err != nil {
+		return nil, err
+	}
+	tw := newTable(h.cfg.Out, "Instance", "ingest(s)", "cold(s)", "warm(s)",
+		"speedup", "query qps", "hotspots(s)")
+	for _, inst := range insts {
+		s, pts, err := h.load(inst)
+		if err != nil {
+			return nil, err
+		}
+		row, err := h.serveInstance(inst.Name, pts, s.Spec, queries)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+		tw.row(inst.Name,
+			fmt.Sprintf("%.3f", row.Extra["ingest_s"]),
+			fmt.Sprintf("%.3f", row.Extra["cold_s"]),
+			fmt.Sprintf("%.4f", row.Extra["warm_s"]),
+			fmt.Sprintf("%.1f", row.Speedup),
+			fmt.Sprintf("%.0f", row.Extra["query_qps"]),
+			fmt.Sprintf("%.3f", row.Extra["hotspots_s"]))
+	}
+	tw.flush(rep.Title, h.cfg)
+	return rep, nil
+}
+
+// serveInstance drives one instance through the HTTP service.
+func (h *harness) serveInstance(name string, pts []grid.Point, spec grid.Spec, queries int) (Row, error) {
+	srv := serve.New(serve.Config{
+		CacheBytes: 4 * spec.Bytes(),
+		Threads:    h.cfg.MaxThreads,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var csv bytes.Buffer
+	if err := gio.WritePoints(&csv, pts); err != nil {
+		return Row{}, err
+	}
+	t0 := time.Now()
+	var ds struct {
+		Dataset string `json:"dataset"`
+	}
+	if err := postJSON(ts.URL+"/v1/datasets", "text/csv", csv.Bytes(), &ds); err != nil {
+		return Row{}, fmt.Errorf("serve %s: ingest: %w", name, err)
+	}
+	ingest := time.Since(t0).Seconds()
+
+	body, err := json.Marshal(map[string]any{
+		"dataset": ds.Dataset, "algorithm": "pb-sym",
+		"sres": spec.SRes, "tres": spec.TRes, "hs": spec.HS, "ht": spec.HT,
+		"domain": map[string]float64{
+			"x0": spec.Domain.X0, "y0": spec.Domain.Y0, "t0": spec.Domain.T0,
+			"gx": spec.Domain.GX, "gy": spec.Domain.GY, "gt": spec.Domain.GT,
+		},
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	estimate := func() (float64, error) {
+		t0 := time.Now()
+		var job struct {
+			Job   string `json:"job"`
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := postJSON(ts.URL+"/v1/estimate", "application/json", body, &job); err != nil {
+			return 0, err
+		}
+		for deadline := time.Now().Add(5 * time.Minute); job.State == "running"; {
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("estimation did not finish")
+			}
+			time.Sleep(time.Millisecond)
+			if err := getJSON(ts.URL+"/v1/jobs/"+job.Job, &job); err != nil {
+				return 0, err
+			}
+		}
+		if job.State != "done" {
+			return 0, fmt.Errorf("job %s: %s", job.State, job.Error)
+		}
+		return time.Since(t0).Seconds(), nil
+	}
+	cold, err := estimate()
+	if err != nil {
+		return Row{}, fmt.Errorf("serve %s: cold: %w", name, err)
+	}
+	warm, err := estimate()
+	if err != nil {
+		return Row{}, fmt.Errorf("serve %s: warm: %w", name, err)
+	}
+
+	params := fmt.Sprintf("dataset=%s&algorithm=pb-sym&sres=%g&tres=%g&hs=%g&ht=%g&x0=%g&y0=%g&t0=%g&gx=%g&gy=%g&gt=%g",
+		ds.Dataset, spec.SRes, spec.TRes, spec.HS, spec.HT,
+		spec.Domain.X0, spec.Domain.Y0, spec.Domain.T0,
+		spec.Domain.GX, spec.Domain.GY, spec.Domain.GT)
+	t0 = time.Now()
+	for i := 0; i < queries; i++ {
+		// Sweep voxel centers along a diagonal so queries touch the
+		// whole cube deterministically.
+		X := (i * 13) % spec.Gx
+		Y := (i * 7) % spec.Gy
+		T := (i * 3) % spec.Gt
+		url := fmt.Sprintf("%s/v1/query?%s&x=%g&y=%g&t=%g", ts.URL, params,
+			spec.CenterX(X), spec.CenterY(Y), spec.CenterT(T))
+		var out struct {
+			Source string `json:"source"`
+		}
+		if err := getJSON(url, &out); err != nil {
+			return Row{}, fmt.Errorf("serve %s: query: %w", name, err)
+		}
+		if out.Source != "grid" {
+			return Row{}, fmt.Errorf("serve %s: query fell back to %q with a resident grid", name, out.Source)
+		}
+	}
+	qps := float64(queries) / time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	var hot struct {
+		Hotspots []json.RawMessage `json:"hotspots"`
+	}
+	if err := getJSON(ts.URL+"/v1/hotspots?"+params+"&k=10", &hot); err != nil {
+		return Row{}, fmt.Errorf("serve %s: hotspots: %w", name, err)
+	}
+	hotSecs := time.Since(t0).Seconds()
+
+	row := Row{Instance: name, Algo: "serve", Threads: h.cfg.MaxThreads, Seconds: cold}
+	if warm > 0 {
+		row.Speedup = cold / warm
+	}
+	row.Extra = map[string]float64{
+		"ingest_s": ingest, "cold_s": cold, "warm_s": warm,
+		"query_qps": qps, "hotspots_s": hotSecs,
+		"estimations": float64(srv.Estimations()),
+	}
+	return row, nil
+}
+
+func postJSON(url, contentType string, body []byte, out any) error {
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, out)
+}
+
+func decodeJSON(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(e.Error))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -62,6 +62,18 @@ func Algorithms() []string {
 	}
 }
 
+// ValidAlgorithm reports whether name is a known algorithm identifier —
+// the single membership check behind every user-facing name validation
+// (CLI flags, the serving API).
+func ValidAlgorithm(name string) bool {
+	for _, a := range Algorithms() {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
 // SequentialAlgorithms returns the Section 2-3 algorithms.
 func SequentialAlgorithms() []string {
 	return []string{AlgVB, AlgVBDEC, AlgPB, AlgPBDISK, AlgPBBAR, AlgPBSYM}

@@ -1,6 +1,9 @@
 package grid
 
-import "fmt"
+import (
+	"container/heap"
+	"fmt"
+)
 
 // Analysis helpers for the visualization pipeline the paper's introduction
 // describes: once the 3-D density volume exists, analysts slice it, project
@@ -123,6 +126,71 @@ func (g *Grid) Downsample(fx, fy, ft int, b *Budget) (*Grid, error) {
 		}
 	}
 	return out, nil
+}
+
+// VoxelDensity is one voxel and its density estimate, the unit of top-k
+// hotspot reports.
+type VoxelDensity struct {
+	X, Y, T int
+	V       float64
+}
+
+// voxelCandidate pairs a flat voxel index with its density for the top-k
+// selection heap.
+type voxelCandidate struct {
+	idx int
+	v   float64
+}
+
+// voxelMinHeap orders candidates by ascending density so the root is the
+// weakest retained hotspot; ties break toward keeping the lower flat
+// index, making the selection deterministic.
+type voxelMinHeap []voxelCandidate
+
+func (h voxelMinHeap) Len() int { return len(h) }
+func (h voxelMinHeap) Less(i, j int) bool {
+	if h[i].v != h[j].v {
+		return h[i].v < h[j].v
+	}
+	return h[i].idx > h[j].idx
+}
+func (h voxelMinHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *voxelMinHeap) Push(x any)   { *h = append(*h, x.(voxelCandidate)) }
+func (h *voxelMinHeap) Pop() (x any) { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
+
+// TopK returns the k highest-density voxels in descending density order
+// (ties broken by ascending flat index), in O(Voxels·log k) time: the
+// "where are the hotspots?" query of interactive space-time-cube analysis.
+func (g *Grid) TopK(k int) []VoxelDensity {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(g.Data) {
+		k = len(g.Data)
+	}
+	h := make(voxelMinHeap, 0, k)
+	for i, v := range g.Data {
+		if len(h) < k {
+			heap.Push(&h, voxelCandidate{idx: i, v: v})
+			continue
+		}
+		// Strict > keeps the earliest-seen candidate on ties; since i
+		// ascends over Data, ties resolve to the lowest flat index.
+		if v > h[0].v {
+			h[0] = voxelCandidate{idx: i, v: v}
+			heap.Fix(&h, 0)
+		}
+	}
+	gt, gy := g.Spec.Gt, g.Spec.Gy
+	out := make([]VoxelDensity, len(h))
+	for n := len(h) - 1; n >= 0; n-- {
+		c := heap.Pop(&h).(voxelCandidate)
+		out[n] = VoxelDensity{
+			X: c.idx / (gt * gy), Y: (c.idx / gt) % gy, T: c.idx % gt,
+			V: c.v,
+		}
+	}
+	return out
 }
 
 // Threshold returns the voxel boxes (grown greedily along T runs) where

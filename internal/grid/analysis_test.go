@@ -178,3 +178,56 @@ func TestThreshold(t *testing.T) {
 		t.Errorf("level above max should give no boxes, got %d", n)
 	}
 }
+
+func TestTopK(t *testing.T) {
+	s := mustSpec(t, Domain{GX: 4, GY: 3, GT: 5}, 1, 1, 1, 1)
+	g, err := NewGrid(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(2, 1, 4, 9)
+	g.Set(0, 0, 0, 7)
+	g.Set(3, 2, 2, 5)
+	g.Set(1, 1, 1, 5)
+
+	top := g.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("got %d voxels, want 3", len(top))
+	}
+	if top[0] != (VoxelDensity{X: 2, Y: 1, T: 4, V: 9}) {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+	if top[1] != (VoxelDensity{X: 0, Y: 0, T: 0, V: 7}) {
+		t.Errorf("top[1] = %+v", top[1])
+	}
+	// Tie at 5: the lower flat index wins, which is (1,1,1).
+	if top[2] != (VoxelDensity{X: 1, Y: 1, T: 1, V: 5}) {
+		t.Errorf("top[2] = %+v", top[2])
+	}
+
+	// k = 4 includes the second 5 after the first; order stays descending.
+	top = g.TopK(4)
+	if top[3] != (VoxelDensity{X: 3, Y: 2, T: 2, V: 5}) {
+		t.Errorf("top[3] = %+v", top[3])
+	}
+
+	// The peak always agrees with Max.
+	v, X, Y, T := g.Max()
+	if one := g.TopK(1); len(one) != 1 || one[0] != (VoxelDensity{X: X, Y: Y, T: T, V: v}) {
+		t.Errorf("TopK(1) = %+v, Max = (%g at %d,%d,%d)", one, v, X, Y, T)
+	}
+
+	// k larger than the volume returns every voxel, still sorted.
+	all := g.TopK(1000)
+	if len(all) != s.Voxels() {
+		t.Fatalf("TopK(1000) returned %d voxels, want %d", len(all), s.Voxels())
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].V > all[i-1].V {
+			t.Fatalf("not descending at %d: %+v > %+v", i, all[i], all[i-1])
+		}
+	}
+	if g.TopK(0) != nil {
+		t.Error("TopK(0) should be nil")
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/grid"
+)
+
+// gridCache is an LRU cache of density grids keyed by (dataset, Spec,
+// algorithm), with resident bytes accounted against a grid.Budget. Evicted
+// grids are merely dereferenced (never Released): readers that obtained a
+// grid before its eviction keep a valid, immutable volume and the garbage
+// collector reclaims it when the last reader drops it.
+type gridCache struct {
+	mu      sync.Mutex
+	budget  *grid.Budget
+	entries map[estimateKey]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key   estimateKey
+	g     *grid.Grid
+	bytes int64
+}
+
+func newGridCache(limitBytes int64) *gridCache {
+	return &gridCache{
+		budget:  grid.NewBudget(limitBytes),
+		entries: map[estimateKey]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+// get returns the cached grid for the key, promoting it to most recently
+// used.
+func (c *gridCache) get(k estimateKey) (*grid.Grid, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(*cacheEntry).g, true
+}
+
+// contains reports whether the key is resident without promoting it.
+func (c *gridCache) contains(k estimateKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[k]
+	return ok
+}
+
+// put inserts a grid, evicting least-recently-used entries until the byte
+// budget admits it. It returns the number of evictions and whether the
+// grid was cached at all (a grid larger than the entire budget is not).
+func (c *gridCache) put(k estimateKey, g *grid.Grid) (evicted int, cached bool) {
+	bytes := g.Spec.Bytes()
+	if bytes > c.budget.Limit() {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok { // racing writer won; keep the resident grid
+		c.lru.MoveToFront(e)
+		return 0, true
+	}
+	for c.budget.Alloc(bytes) != nil {
+		back := c.lru.Back()
+		if back == nil {
+			return evicted, false // unreachable: bytes <= limit and cache empty
+		}
+		ent := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, ent.key)
+		c.budget.Free(ent.bytes)
+		evicted++
+	}
+	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, g: g, bytes: bytes})
+	return evicted, true
+}
+
+// stats reports occupancy: resident grids, charged bytes, byte limit.
+func (c *gridCache) stats() (entries int, bytes, limit int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.budget.Used(), c.budget.Limit()
+}

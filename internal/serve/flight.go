@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// flightGroup coalesces concurrent estimations of the same key into a
+// single computation (the classic singleflight pattern, stdlib-only).
+// Followers block until the leader's result is ready and share it.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[estimateKey]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[estimateKey]*flightCall{}}
+}
+
+// do runs fn for the key, unless a call for the same key is already in
+// flight, in which case it waits for that call and returns its result.
+// A panic in fn is converted into an error: the cleanup must run (and
+// done must close) regardless, or the key would wedge forever with every
+// follower blocked on it.
+func (f *flightGroup) do(k estimateKey, fn func() (*core.Result, error)) (res *core.Result, err error) {
+	f.mu.Lock()
+	if c, ok := f.calls[k]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[k] = c
+	f.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			c.res, c.err = nil, fmt.Errorf("serve: estimation panicked: %v", r)
+		}
+		f.mu.Lock()
+		delete(f.calls, k)
+		f.mu.Unlock()
+		close(c.done)
+		res, err = c.res, c.err
+	}()
+	c.res, c.err = fn()
+	return c.res, c.err
+}

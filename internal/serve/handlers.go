@@ -1,0 +1,427 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gio"
+	"repro/internal/grid"
+)
+
+// routes builds the endpoint table. Method dispatch is explicit (not mux
+// method patterns) so the package works under the module's go directive.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/region", s.handleRegion)
+	mux.HandleFunc("/v1/hotspots", s.handleHotspots)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// domainJSON is the wire shape of a grid.Domain.
+type domainJSON struct {
+	X0 float64 `json:"x0"`
+	Y0 float64 `json:"y0"`
+	T0 float64 `json:"t0"`
+	GX float64 `json:"gx"`
+	GY float64 `json:"gy"`
+	GT float64 `json:"gt"`
+}
+
+func (d domainJSON) domain() grid.Domain {
+	return grid.Domain{X0: d.X0, Y0: d.Y0, T0: d.T0, GX: d.GX, GY: d.GY, GT: d.GT}
+}
+
+func toDomainJSON(d grid.Domain) domainJSON {
+	return domainJSON{X0: d.X0, Y0: d.Y0, T0: d.T0, GX: d.GX, GY: d.GY, GT: d.GT}
+}
+
+// datasetJSON is the wire shape of a registered dataset.
+type datasetJSON struct {
+	Dataset string     `json:"dataset"`
+	Points  int        `json:"points"`
+	Bounds  domainJSON `json:"bounds"`
+	Added   time.Time  `json:"added"`
+}
+
+func toDatasetJSON(ds *dataset) datasetJSON {
+	lo, hi := ds.bounds[0], ds.bounds[1]
+	return datasetJSON{
+		Dataset: ds.id,
+		Points:  len(ds.pts),
+		Bounds: domainJSON{X0: lo.X, Y0: lo.Y, T0: lo.T,
+			GX: hi.X - lo.X, GY: hi.Y - lo.Y, GT: hi.T - lo.T},
+		Added: ds.added,
+	}
+}
+
+// handleDatasets ingests a CSV event set (POST) or lists the registry
+// (GET). Ingestion is idempotent: re-uploading the same content returns
+// the same content-addressed id with 200 instead of 201.
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		pts, err := gio.ReadPoints(r.Body)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "parse CSV body: %v", err)
+			return
+		}
+		if len(pts) == 0 {
+			writeErr(w, http.StatusBadRequest, "dataset has no events")
+			return
+		}
+		ds, created := s.addDataset(pts)
+		code := http.StatusOK
+		if created {
+			code = http.StatusCreated
+		}
+		writeJSON(w, code, toDatasetJSON(ds))
+	case http.MethodGet:
+		sets := s.reg.list()
+		out := make([]datasetJSON, 0, len(sets))
+		for _, ds := range sets {
+			out = append(out, toDatasetJSON(ds))
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "use POST (ingest CSV) or GET (list)")
+	}
+}
+
+// estimateRequest is the JSON body of POST /v1/estimate.
+type estimateRequest struct {
+	Dataset   string      `json:"dataset"`
+	Algorithm string      `json:"algorithm,omitempty"`
+	SRes      float64     `json:"sres"`
+	TRes      float64     `json:"tres"`
+	HS        float64     `json:"hs"`
+	HT        float64     `json:"ht"`
+	Domain    *domainJSON `json:"domain,omitempty"`
+}
+
+// resolveKey turns request parameters into the canonical cache key. When
+// the domain is omitted it defaults to the dataset's bounding box padded
+// by one bandwidth (deterministically, so omitting it on every request
+// still hits the same cached grid).
+func (s *Server) resolveKey(datasetID, algorithm string, sres, tres, hs, ht float64, dom *grid.Domain) (estimateKey, *dataset, error) {
+	ds, ok := s.reg.get(datasetID)
+	if !ok {
+		return estimateKey{}, nil, fmt.Errorf("unknown dataset %q", datasetID)
+	}
+	if algorithm == "" {
+		algorithm = s.cfg.DefaultAlgorithm
+	}
+	if !core.ValidAlgorithm(algorithm) {
+		return estimateKey{}, nil, fmt.Errorf("unknown algorithm %q (known: %s)",
+			algorithm, strings.Join(core.Algorithms(), ", "))
+	}
+	d := grid.Domain{}
+	if dom != nil {
+		d = *dom
+	} else {
+		if hs <= 0 || ht <= 0 {
+			return estimateKey{}, nil, fmt.Errorf("hs and ht must be positive, got hs=%g ht=%g", hs, ht)
+		}
+		d = ds.defaultDomain(hs, ht)
+	}
+	spec, err := grid.NewSpec(d, sres, tres, hs, ht)
+	if err != nil {
+		return estimateKey{}, nil, err
+	}
+	// Size the grid in float arithmetic: Spec.Bytes() is int64 and a
+	// hostile request can overflow it past the guard (2^61 voxels wraps
+	// to 0 bytes), panicking the allocation instead of failing here.
+	if bytes := float64(spec.Gx) * float64(spec.Gy) * float64(spec.Gt) * 8; bytes > float64(s.cfg.MaxGridBytes) {
+		return estimateKey{}, nil, fmt.Errorf("derived grid %dx%dx%d needs %.0f bytes, over the %d-byte per-request limit; coarsen sres/tres or shrink the domain",
+			spec.Gx, spec.Gy, spec.Gt, bytes, s.cfg.MaxGridBytes)
+	}
+	return estimateKey{Dataset: ds.id, Spec: spec, Algorithm: algorithm}, ds, nil
+}
+
+// handleEstimate launches (or joins) an asynchronous estimation job and
+// returns its handle; poll GET /v1/jobs/{id} until state is "done". A
+// request whose grid is already resident completes synchronously.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
+		return
+	}
+	var req estimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "parse JSON body: %v", err)
+		return
+	}
+	var dom *grid.Domain
+	if req.Domain != nil {
+		d := req.Domain.domain()
+		dom = &d
+	}
+	k, _, err := s.resolveKey(req.Dataset, req.Algorithm, req.SRes, req.TRes, req.HS, req.HT, dom)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.startJob(k)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	snap := j.snapshot()
+	code := http.StatusAccepted
+	if snap.State != jobRunning {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, snap)
+}
+
+// handleJob reports the status of one estimation job.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// queryParams parses the spec-defining parameters shared by the GET
+// endpoints and resolves them to a cache key.
+func (s *Server) queryParams(r *http.Request) (estimateKey, *dataset, error) {
+	q := r.URL.Query()
+	get := func(name string) (float64, error) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, fmt.Errorf("missing required parameter %q", name)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s=%q: %v", name, v, err)
+		}
+		return f, nil
+	}
+	var sres, tres, hs, ht float64
+	var err error
+	if sres, err = get("sres"); err != nil {
+		return estimateKey{}, nil, err
+	}
+	if tres, err = get("tres"); err != nil {
+		return estimateKey{}, nil, err
+	}
+	if hs, err = get("hs"); err != nil {
+		return estimateKey{}, nil, err
+	}
+	if ht, err = get("ht"); err != nil {
+		return estimateKey{}, nil, err
+	}
+	var dom *grid.Domain
+	if q.Get("x0") != "" || q.Get("gx") != "" {
+		var d grid.Domain
+		for _, f := range []struct {
+			name string
+			dst  *float64
+		}{{"x0", &d.X0}, {"y0", &d.Y0}, {"t0", &d.T0}, {"gx", &d.GX}, {"gy", &d.GY}, {"gt", &d.GT}} {
+			if *f.dst, err = get(f.name); err != nil {
+				return estimateKey{}, nil, err
+			}
+		}
+		dom = &d
+	}
+	return s.resolveKey(q.Get("dataset"), q.Get("algorithm"), sres, tres, hs, ht, dom)
+}
+
+// handleQuery answers a density query at a continuous (x, y, t) location.
+// When the grid for (dataset, spec, algorithm) is resident it is a pure
+// O(1) voxel lookup; otherwise (or with exact=1) it falls back to the
+// exact core.Query evaluation — never triggering an estimation.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	k, ds, err := s.queryParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := r.URL.Query()
+	var x, y, t float64
+	for _, f := range []struct {
+		name string
+		dst  *float64
+	}{{"x", &x}, {"y", &y}, {"t", &t}} {
+		v := q.Get(f.name)
+		if v == "" {
+			writeErr(w, http.StatusBadRequest, "missing required parameter %q", f.name)
+			return
+		}
+		if *f.dst, err = strconv.ParseFloat(v, 64); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad %s=%q: %v", f.name, v, err)
+			return
+		}
+	}
+	// Out-of-domain locations bypass the grid: VoxelOf would clamp them
+	// to an edge voxel and report its (wrong, possibly large) density,
+	// while the exact evaluator correctly decays to zero.
+	exact := q.Get("exact") == "1" || q.Get("exact") == "true" ||
+		!k.Spec.Domain.Contains(grid.Point{X: x, Y: y, T: t})
+	if !exact {
+		if g, ok := s.cache.get(k); ok {
+			s.met.cacheHits.Add(1)
+			X, Y, T := k.Spec.VoxelOf(grid.Point{X: x, Y: y, T: t})
+			writeJSON(w, http.StatusOK, map[string]any{
+				"density": g.At(X, Y, T),
+				"source":  "grid",
+				"voxel":   [3]int{X, Y, T},
+				"center":  [3]float64{k.Spec.CenterX(X), k.Spec.CenterY(Y), k.Spec.CenterT(T)},
+			})
+			return
+		}
+		s.met.cacheMisses.Add(1)
+	}
+	idx, err := s.reg.queryIndex(ds, k.Spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"density": idx.At(x, y, t),
+		"source":  "exact",
+	})
+}
+
+// handleRegion integrates the density over a voxel box: the estimated
+// probability mass of a space-time region. The grid is computed (through
+// the coalescing and pool layers) when not yet resident.
+func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	k, _, err := s.queryParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := r.URL.Query()
+	box := k.Spec.Bounds()
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"bx0", &box.X0}, {"bx1", &box.X1}, {"by0", &box.Y0}, {"by1", &box.Y1}, {"bt0", &box.T0}, {"bt1", &box.T1}} {
+		if v := q.Get(f.name); v != "" {
+			if *f.dst, err = strconv.Atoi(v); err != nil {
+				writeErr(w, http.StatusBadRequest, "bad %s=%q: %v", f.name, v, err)
+				return
+			}
+		}
+	}
+	res, cached, err := s.ensureGrid(k, false)
+	if err != nil {
+		writeErr(w, ensureStatus(err), "%v", err)
+		return
+	}
+	clipped := box.Clip(k.Spec.Bounds())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mass":   res.Grid.BoxMass(box),
+		"box":    [6]int{clipped.X0, clipped.X1, clipped.Y0, clipped.Y1, clipped.T0, clipped.T1},
+		"voxels": clipped.Count(),
+		"cached": cached,
+	})
+}
+
+// handleHotspots reports the k highest-density voxels of the grid,
+// computing it (coalesced, pooled) when not yet resident.
+func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	k, _, err := s.queryParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	topK := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		if topK, err = strconv.Atoi(v); err != nil || topK < 1 {
+			writeErr(w, http.StatusBadRequest, "bad k=%q: want a positive integer", v)
+			return
+		}
+	}
+	res, cached, err := s.ensureGrid(k, false)
+	if err != nil {
+		writeErr(w, ensureStatus(err), "%v", err)
+		return
+	}
+	type hotspotJSON struct {
+		Voxel   [3]int     `json:"voxel"`
+		Center  [3]float64 `json:"center"`
+		Density float64    `json:"density"`
+	}
+	top := res.Grid.TopK(topK)
+	out := make([]hotspotJSON, 0, len(top))
+	for _, h := range top {
+		out = append(out, hotspotJSON{
+			Voxel:   [3]int{h.X, h.Y, h.T},
+			Center:  [3]float64{k.Spec.CenterX(h.X), k.Spec.CenterY(h.Y), k.Spec.CenterT(h.T)},
+			Density: h.V,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"hotspots": out, "cached": cached})
+}
+
+// ensureStatus maps an ensureGrid failure to its HTTP status.
+func ensureStatus(err error) int {
+	if errors.Is(err, errShuttingDown) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// handleHealth is the liveness endpoint.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	entries, bytes, limit := s.cache.stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":            "ok",
+		"uptime_s":          time.Since(s.start).Seconds(),
+		"datasets":          len(s.reg.list()),
+		"cache_entries":     entries,
+		"cache_bytes":       bytes,
+		"cache_limit_bytes": limit,
+	})
+}
+
+// handleVars renders the server's private expvar map in the standard
+// /debug/vars JSON shape.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, s.met.m.String())
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Job states. A job is the asynchronous handle of one estimation request;
+// its id is derived from the estimate key, so identical requests share one
+// job (and therefore one estimation).
+const (
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// job tracks one asynchronous estimation.
+type job struct {
+	id  string
+	key estimateKey
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	cacheHit bool // resolved from cache without estimating
+	started  time.Time
+	finished time.Time
+	seconds  float64 // estimation phase total (0 on cache hit)
+	peak     float64
+	peakVox  [3]int
+	mass     float64
+}
+
+// maxJobs bounds the job table: finished jobs are evicted oldest-first
+// past this size, so a client sweeping specs cannot grow the table without
+// limit in a long-running daemon. Running jobs are never evicted.
+const maxJobs = 1024
+
+type jobTable struct {
+	mu    sync.Mutex
+	m     map[string]*job
+	order []string // insertion order, for oldest-first eviction
+}
+
+func newJobTable() *jobTable {
+	return &jobTable{m: map[string]*job{}}
+}
+
+// insert registers a job, evicting the oldest finished jobs once the
+// table is full. Callers hold t.mu.
+func (t *jobTable) insert(j *job) {
+	if len(t.m) >= maxJobs {
+		kept := make([]string, 0, len(t.order))
+		seen := make(map[string]bool, len(t.order))
+		for _, id := range t.order {
+			old, ok := t.m[id]
+			if !ok || seen[id] { // stale or duplicate entry from a relaunch
+				continue
+			}
+			seen[id] = true
+			old.mu.Lock()
+			running := old.state == jobRunning
+			old.mu.Unlock()
+			if !running && len(t.m) >= maxJobs {
+				delete(t.m, id)
+				continue
+			}
+			kept = append(kept, id)
+		}
+		t.order = kept
+	}
+	t.m[j.id] = j
+	t.order = append(t.order, j.id)
+}
+
+func (t *jobTable) get(id string) (*job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.m[id]
+	return j, ok
+}
+
+// startJob returns the job for the key, creating (and launching) it when
+// needed. A running job is always reused — that is the request-coalescing
+// guarantee at the job layer. A finished job is reused only while its grid
+// is still resident; once evicted, a new request relaunches the work.
+func (s *Server) startJob(k estimateKey) (*job, error) {
+	id := k.id()
+	s.jobs.mu.Lock()
+	defer s.jobs.mu.Unlock()
+	if j, ok := s.jobs.m[id]; ok {
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		if state == jobRunning || (state == jobDone && s.cache.contains(k)) {
+			return j, nil
+		}
+	}
+	s.mu.Lock()
+	closed := s.closed
+	if !closed {
+		s.wg.Add(1)
+	}
+	s.mu.Unlock()
+	if closed {
+		return nil, errShuttingDown
+	}
+	j := &job{id: id, key: k, state: jobRunning, started: time.Now()}
+	s.jobs.insert(j)
+	go s.runJob(j)
+	return j, nil
+}
+
+// runJob drives one estimation to completion and records its outcome. It
+// runs detached from any request context: a poller that disconnects does
+// not cancel the work, and Shutdown waits for it.
+func (s *Server) runJob(j *job) {
+	defer s.wg.Done()
+	res, cached, err := s.ensureGrid(j.key, true)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = jobFailed
+		j.err = err.Error()
+		s.met.jobsFailed.Add(1)
+		return
+	}
+	j.state = jobDone
+	j.cacheHit = cached
+	j.seconds = res.Phases.Total().Seconds()
+	v, X, Y, T := res.Grid.Max()
+	j.peak, j.peakVox = v, [3]int{X, Y, T}
+	j.mass = res.Grid.BoxMass(res.Grid.Spec.Bounds())
+	s.met.jobsDone.Add(1)
+}
+
+// jobJSON is the wire shape of a job status.
+type jobJSON struct {
+	Job       string  `json:"job"`
+	State     string  `json:"state"`
+	Error     string  `json:"error,omitempty"`
+	Dataset   string  `json:"dataset"`
+	Algorithm string  `json:"algorithm"`
+	Grid      [3]int  `json:"grid"`
+	CacheHit  bool    `json:"cache_hit"`
+	Seconds   float64 `json:"seconds"`
+	Peak      float64 `json:"peak,omitempty"`
+	PeakVoxel [3]int  `json:"peak_voxel,omitempty"`
+	Mass      float64 `json:"mass,omitempty"`
+}
+
+func (j *job) snapshot() jobJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobJSON{
+		Job:       j.id,
+		State:     j.state,
+		Error:     j.err,
+		Dataset:   j.key.Dataset,
+		Algorithm: j.key.Algorithm,
+		Grid:      [3]int{j.key.Spec.Gx, j.key.Spec.Gy, j.key.Spec.Gt},
+		CacheHit:  j.cacheHit,
+		Seconds:   j.seconds,
+		Peak:      j.peak,
+		PeakVoxel: j.peakVox,
+		Mass:      j.mass,
+	}
+}

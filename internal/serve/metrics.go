@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics aggregates the server's operational counters into a private
+// expvar.Map (not published to the process-global registry, so multiple
+// servers — e.g. in tests — do not collide). It is rendered by the
+// /debug/vars endpoint in the standard expvar JSON shape.
+type metrics struct {
+	m *expvar.Map
+
+	datasets    expvar.Int // registered datasets
+	estimations expvar.Int // actual estimation runs (post-coalescing)
+	estInflight expvar.Int // estimations currently computing
+	cacheHits   expvar.Int
+	cacheMisses expvar.Int
+	evictions   expvar.Int
+	uncacheable expvar.Int // grids larger than the whole cache budget
+	jobsDone    expvar.Int
+	jobsFailed  expvar.Int
+	inflight    expvar.Int // HTTP requests in flight
+	latency     *latencyHist
+}
+
+func newMetrics() *metrics {
+	met := &metrics{m: new(expvar.Map).Init(), latency: newLatencyHist(1024)}
+	met.m.Set("datasets", &met.datasets)
+	met.m.Set("estimations", &met.estimations)
+	met.m.Set("estimations_inflight", &met.estInflight)
+	met.m.Set("cache_hits", &met.cacheHits)
+	met.m.Set("cache_misses", &met.cacheMisses)
+	met.m.Set("cache_evictions", &met.evictions)
+	met.m.Set("cache_uncacheable", &met.uncacheable)
+	met.m.Set("jobs_done", &met.jobsDone)
+	met.m.Set("jobs_failed", &met.jobsFailed)
+	met.m.Set("requests_inflight", &met.inflight)
+	met.m.Set("latency_p50_ms", expvar.Func(func() any { return met.latency.quantile(0.50) * 1e3 }))
+	met.m.Set("latency_p99_ms", expvar.Func(func() any { return met.latency.quantile(0.99) * 1e3 }))
+	return met
+}
+
+// latencyHist keeps a bounded ring of recent request latencies and answers
+// quantile queries over the retained window. A fixed window keeps memory
+// constant under sustained traffic while tracking current behaviour, which
+// is what an operator polling p50/p99 wants.
+type latencyHist struct {
+	mu   sync.Mutex
+	ring []float64 // seconds
+	n    int       // total observations ever
+}
+
+func newLatencyHist(window int) *latencyHist {
+	return &latencyHist{ring: make([]float64, 0, window)}
+}
+
+func (h *latencyHist) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.ring) < cap(h.ring) {
+		h.ring = append(h.ring, d.Seconds())
+	} else {
+		h.ring[h.n%cap(h.ring)] = d.Seconds()
+	}
+	h.n++
+}
+
+// quantile returns the q-quantile (0 < q <= 1) of the retained window in
+// seconds, or 0 when nothing was observed.
+func (h *latencyHist) quantile(q float64) float64 {
+	h.mu.Lock()
+	sorted := append([]float64(nil), h.ring...)
+	h.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0
+	}
+	sort.Float64s(sorted)
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
+}

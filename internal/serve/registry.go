@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// dataset is one registered event set, content-addressed by the hash of
+// its points so identical uploads deduplicate and ids are immutable.
+type dataset struct {
+	id     string
+	pts    []grid.Point
+	bounds [2]grid.Point // tight bounding box: min, max per axis
+	added  time.Time
+}
+
+// registry holds the registered datasets and a small cache of exact-query
+// indexes (core.Query) keyed by dataset and spec, so repeated fallback
+// queries do not rebuild the bandwidth-block bins.
+type registry struct {
+	mu      sync.RWMutex
+	sets    map[string]*dataset
+	queries map[queryKey]*core.Query
+	// queryOrder tracks insertion order so the index cache stays bounded
+	// (FIFO eviction at maxQueryIndexes entries).
+	queryOrder []queryKey
+}
+
+// maxQueryIndexes bounds the exact-query index cache: each index holds
+// O(n) point references plus its bin table, and a client sweeping
+// bandwidths would otherwise grow it without limit in a long-running
+// daemon.
+const maxQueryIndexes = 64
+
+// maxQueryBins bounds the bin table of a single exact-query index
+// (~(GX/hs)·(GY/hs)·(GT/ht) slots): a request with a tiny bandwidth over
+// a huge domain must not allocate an arbitrarily large table.
+const maxQueryBins = 1 << 24
+
+// queryKey identifies an exact-query index: the algorithm is irrelevant
+// (core.Query evaluates the formula directly), only dataset and spec are.
+type queryKey struct {
+	Dataset string
+	Spec    grid.Spec
+}
+
+func newRegistry() *registry {
+	return &registry{
+		sets:    map[string]*dataset{},
+		queries: map[queryKey]*core.Query{},
+	}
+}
+
+// hashPoints content-addresses an event set: sha256 over the little-endian
+// float64 triples, truncated to 16 hex characters.
+func hashPoints(pts []grid.Point) string {
+	h := sha256.New()
+	var buf [24]byte
+	for _, p := range pts {
+		binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(p.X))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(p.Y))
+		binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(p.T))
+		h.Write(buf[:])
+	}
+	return "d" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// add registers an event set, returning the existing dataset when the same
+// content was already ingested. The caller's slice is not copied; callers
+// must not mutate it afterwards.
+func (r *registry) add(pts []grid.Point) (*dataset, bool) {
+	id := hashPoints(pts)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ds, ok := r.sets[id]; ok {
+		return ds, false
+	}
+	lo := grid.Point{X: math.Inf(1), Y: math.Inf(1), T: math.Inf(1)}
+	hi := grid.Point{X: math.Inf(-1), Y: math.Inf(-1), T: math.Inf(-1)}
+	for _, p := range pts {
+		lo.X, hi.X = math.Min(lo.X, p.X), math.Max(hi.X, p.X)
+		lo.Y, hi.Y = math.Min(lo.Y, p.Y), math.Max(hi.Y, p.Y)
+		lo.T, hi.T = math.Min(lo.T, p.T), math.Max(hi.T, p.T)
+	}
+	ds := &dataset{id: id, pts: pts, bounds: [2]grid.Point{lo, hi}, added: time.Now()}
+	r.sets[id] = ds
+	return ds, true
+}
+
+// get returns the dataset by id.
+func (r *registry) get(id string) (*dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ds, ok := r.sets[id]
+	return ds, ok
+}
+
+// list returns the registered datasets sorted by id.
+func (r *registry) list() []*dataset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*dataset, 0, len(r.sets))
+	for _, ds := range r.sets {
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// queryIndex returns (building on first use) the exact-query index for the
+// dataset and spec, used by the /v1/query fallback path. The cache is
+// bounded: oldest indexes are dropped past maxQueryIndexes, and a spec
+// whose bin table would exceed maxQueryBins is rejected.
+func (r *registry) queryIndex(ds *dataset, spec grid.Spec) (*core.Query, error) {
+	k := queryKey{Dataset: ds.id, Spec: spec}
+	r.mu.RLock()
+	q, ok := r.queries[k]
+	r.mu.RUnlock()
+	if ok {
+		return q, nil
+	}
+	d := spec.Domain
+	bins := (d.GX/spec.HS + 1) * (d.GY/spec.HS + 1) * (d.GT/spec.HT + 1)
+	if bins > maxQueryBins {
+		return nil, fmt.Errorf("serve: exact query would bin the domain into %.0f blocks (limit %d); raise the bandwidths or shrink the domain", bins, maxQueryBins)
+	}
+	q = core.NewQuery(ds.pts, spec, core.Options{})
+	r.mu.Lock()
+	if prev, ok := r.queries[k]; ok { // racing builder won
+		q = prev
+	} else {
+		for len(r.queryOrder) >= maxQueryIndexes {
+			delete(r.queries, r.queryOrder[0])
+			r.queryOrder = r.queryOrder[1:]
+		}
+		r.queries[k] = q
+		r.queryOrder = append(r.queryOrder, k)
+	}
+	r.mu.Unlock()
+	return q, nil
+}
+
+// defaultDomain derives the domain used when a request omits one: the
+// dataset's bounding box padded by one bandwidth on every side (the same
+// derivation as cmd/stkde). It is deterministic, so requests that omit the
+// domain agree on the cache key.
+func (ds *dataset) defaultDomain(hs, ht float64) grid.Domain {
+	lo, hi := ds.bounds[0], ds.bounds[1]
+	return grid.Domain{
+		X0: lo.X - hs, Y0: lo.Y - hs, T0: lo.T - ht,
+		GX: hi.X - lo.X + 2*hs + 1e-9,
+		GY: hi.Y - lo.Y + 2*hs + 1e-9,
+		GT: hi.T - lo.T + 2*ht + 1e-9,
+	}
+}

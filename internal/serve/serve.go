@@ -1,0 +1,278 @@
+// Package serve is the density-serving subsystem behind cmd/stkded: a
+// long-running HTTP service that turns the library's batch estimators into
+// an interactive query backend, the "space-time cube analysis" consumer the
+// paper's introduction sketches.
+//
+// The subsystem has four layers:
+//
+//   - a dataset registry that ingests event sets through the CSV codec and
+//     content-addresses them by hash, so identical uploads deduplicate and
+//     every request names its data immutably;
+//   - a grid cache keyed by (dataset, Spec, algorithm) with LRU eviction
+//     accounted against a grid.Budget, so repeated requests for the same
+//     density cube are O(1) lookups instead of re-estimations;
+//   - request coalescing (singleflight) plus a bounded estimation pool, so a
+//     thundering herd of identical requests computes exactly once while
+//     distinct requests saturate the cores;
+//   - JSON HTTP endpoints for ingestion, asynchronous estimation with job
+//     polling, voxel queries (cached-grid lookup with an exact
+//     core.Query.At fallback), box aggregates, and top-k hotspots, plus
+//     expvar-style metrics and graceful shutdown that drains in-flight
+//     estimations.
+//
+// Only the standard library is used.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// Config configures a Server. The zero value is valid: 256 MiB of grid
+// cache, GOMAXPROCS concurrent estimations with one thread each (throughput
+// mode), pb-sym as the default algorithm.
+type Config struct {
+	// CacheBytes bounds the grid cache (default 256 MiB). Grids larger
+	// than the whole budget are computed but not cached.
+	CacheBytes int64
+
+	// Workers bounds the number of concurrent estimations (default
+	// GOMAXPROCS). Further estimations queue on the pool.
+	Workers int
+
+	// Threads is the thread count passed to each estimation (default 1:
+	// with Workers parallel estimations the cores are saturated by
+	// concurrency; raise it for latency-sensitive single-tenant use).
+	Threads int
+
+	// DefaultAlgorithm is used when a request does not name one (default
+	// pb-sym, the paper's sequential winner).
+	DefaultAlgorithm string
+
+	// MaxBodyBytes bounds request bodies, notably CSV uploads (default
+	// 256 MiB).
+	MaxBodyBytes int64
+
+	// MaxGridBytes bounds the density grid a single request may derive
+	// (default 1 GiB). Requests whose spec exceeds it are rejected with
+	// 400 instead of allocating unbounded memory in a shared daemon.
+	MaxGridBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Threads < 1 {
+		c.Threads = 1
+	}
+	if c.DefaultAlgorithm == "" {
+		c.DefaultAlgorithm = core.AlgPBSYM
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.MaxGridBytes <= 0 {
+		c.MaxGridBytes = 1 << 30
+	}
+	return c
+}
+
+// estimateKey identifies one density cube: a dataset, a fully-derived
+// problem spec, and the algorithm that computes it. Spec is comparable, so
+// the key can index maps directly.
+type estimateKey struct {
+	Dataset   string
+	Spec      grid.Spec
+	Algorithm string
+}
+
+// id returns the stable job/grid identifier of the key.
+func (k estimateKey) id() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%+v|%s", k.Dataset, k.Spec, k.Algorithm)))
+	return "j" + hex.EncodeToString(h[:8])
+}
+
+// Server is the density-serving subsystem. It implements http.Handler;
+// mount it directly or behind a mux. Create it with New.
+type Server struct {
+	cfg    Config
+	reg    *registry
+	cache  *gridCache
+	flight *flightGroup
+	sem    chan struct{} // estimation pool: one token per concurrent estimate
+	jobs   *jobTable
+	met    *metrics
+	mux    *http.ServeMux
+	start  time.Time
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup // in-flight estimation jobs, drained by Shutdown
+
+	// testHookEstimate, when non-nil, runs at the start of every actual
+	// estimation (after coalescing and pool admission). Tests use it to
+	// hold an estimation in flight deterministically.
+	testHookEstimate func(k estimateKey)
+}
+
+// New creates a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		reg:    newRegistry(),
+		cache:  newGridCache(cfg.CacheBytes),
+		flight: newFlightGroup(),
+		sem:    make(chan struct{}, cfg.Workers),
+		jobs:   newJobTable(),
+		met:    newMetrics(),
+		start:  time.Now(),
+	}
+	s.mux = s.routes()
+	return s
+}
+
+// ServeHTTP dispatches to the subsystem's endpoints, tracking in-flight
+// requests and request latency for the metrics endpoint.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	s.met.inflight.Add(1)
+	defer func() {
+		s.met.inflight.Add(-1)
+		s.met.latency.Observe(time.Since(t0))
+	}()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// AddDataset registers an event set directly (the programmatic equivalent
+// of POST /v1/datasets, used by cmd/stkded's -preload). It returns the
+// content-addressed dataset id.
+func (s *Server) AddDataset(pts []grid.Point) (string, error) {
+	if len(pts) == 0 {
+		return "", fmt.Errorf("serve: dataset has no events")
+	}
+	ds, _ := s.addDataset(pts)
+	return ds.id, nil
+}
+
+// addDataset is the single ingestion path shared by AddDataset and the
+// HTTP handler: register and account the dataset metric.
+func (s *Server) addDataset(pts []grid.Point) (*dataset, bool) {
+	ds, created := s.reg.add(pts)
+	if created {
+		s.met.datasets.Add(1)
+	}
+	return ds, created
+}
+
+// Shutdown stops accepting new estimation jobs and waits for in-flight
+// jobs to complete (so their grids land in the cache) or for the context
+// to expire. The HTTP listener itself is the caller's to drain (see
+// http.Server.Shutdown in cmd/stkded).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown deadline exceeded with estimations in flight")
+	}
+}
+
+// Estimations returns the number of actual estimation runs performed (the
+// coalescing counter: identical concurrent requests increment it once).
+func (s *Server) Estimations() int64 { return s.met.estimations.Value() }
+
+// CacheStats reports the grid cache occupancy: resident grids, bytes
+// charged, and the configured byte budget.
+func (s *Server) CacheStats() (entries int, bytes, limit int64) {
+	return s.cache.stats()
+}
+
+// errShuttingDown rejects new estimation work once Shutdown has begun.
+var errShuttingDown = fmt.Errorf("serve: shutting down, not accepting new estimations")
+
+// ensureGrid returns the cached density grid for the key, computing (and
+// caching) it if absent. Concurrent calls for the same key coalesce into a
+// single estimation; distinct keys run concurrently, bounded by the
+// estimation pool. Callers not already admitted to the drain group by
+// startJob (the synchronous region/hotspot paths) pass preAdmitted=false:
+// they are refused once Shutdown has begun and are waited for by it
+// otherwise.
+func (s *Server) ensureGrid(k estimateKey, preAdmitted bool) (*core.Result, bool, error) {
+	if g, ok := s.cache.get(k); ok {
+		s.met.cacheHits.Add(1)
+		return resultFromGrid(k, g), true, nil
+	}
+	s.met.cacheMisses.Add(1)
+	if !preAdmitted {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, false, errShuttingDown
+		}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		defer s.wg.Done()
+	}
+	res, err := s.flight.do(k, func() (*core.Result, error) {
+		// A concurrent caller may have populated the cache between our
+		// miss and the flight admission.
+		if g, ok := s.cache.get(k); ok {
+			return resultFromGrid(k, g), nil
+		}
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		if s.testHookEstimate != nil {
+			s.testHookEstimate(k)
+		}
+		ds, ok := s.reg.get(k.Dataset)
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown dataset %q", k.Dataset)
+		}
+		s.met.estimations.Add(1)
+		s.met.estInflight.Add(1)
+		defer s.met.estInflight.Add(-1)
+		res, err := core.Estimate(k.Algorithm, ds.pts, k.Spec, core.Options{Threads: s.cfg.Threads})
+		if err != nil {
+			return nil, err
+		}
+		evicted, cached := s.cache.put(k, res.Grid)
+		s.met.evictions.Add(int64(evicted))
+		if !cached {
+			s.met.uncacheable.Add(1)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return res, false, nil
+}
+
+// resultFromGrid wraps a cache hit in the Result shape the job and
+// response paths share; phase timings are zero because nothing ran.
+func resultFromGrid(k estimateKey, g *grid.Grid) *core.Result {
+	return &core.Result{Algorithm: k.Algorithm, Grid: g}
+}

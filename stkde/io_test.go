@@ -1,0 +1,125 @@
+package stkde_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/stkde"
+)
+
+// estimateSmallGrid produces a non-trivial density volume for snapshot
+// tests.
+func estimateSmallGrid(t *testing.T) *stkde.Grid {
+	t.Helper()
+	spec, err := stkde.NewSpec(stkde.Domain{GX: 30, GY: 20, GT: 10}, 2, 1, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []stkde.Point{
+		{X: 5, Y: 5, T: 2}, {X: 15, Y: 10, T: 5}, {X: 25, Y: 15, T: 8},
+		{X: 15.5, Y: 10.5, T: 5.5}, {X: 0.1, Y: 0.1, T: 0.1},
+	}
+	res, err := stkde.Estimate(stkde.AlgPBSYM, pts, spec, stkde.Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Grid
+}
+
+// TestGridSnapshotRoundTrip asserts that WriteGridSnapshot/ReadGridSnapshot
+// reproduce the spec and the density volume bitwise.
+func TestGridSnapshotRoundTrip(t *testing.T) {
+	g := estimateSmallGrid(t)
+	var buf bytes.Buffer
+	if err := stkde.WriteGridSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := stkde.ReadGridSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec != g.Spec {
+		t.Fatalf("spec mismatch:\n got %+v\nwant %+v", back.Spec, g.Spec)
+	}
+	if len(back.Data) != len(g.Data) {
+		t.Fatalf("data length %d, want %d", len(back.Data), len(g.Data))
+	}
+	for i := range g.Data {
+		if math.Float64bits(back.Data[i]) != math.Float64bits(g.Data[i]) {
+			t.Fatalf("voxel %d not bitwise equal: %x vs %x",
+				i, math.Float64bits(back.Data[i]), math.Float64bits(g.Data[i]))
+		}
+	}
+}
+
+// TestGridSnapshotTruncated asserts the error paths: truncation anywhere in
+// the stream (magic, header, data) fails loudly instead of returning a
+// silently short grid.
+func TestGridSnapshotTruncated(t *testing.T) {
+	g := estimateSmallGrid(t)
+	var buf bytes.Buffer
+	if err := stkde.WriteGridSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 3, 8, 20, len(full) / 2, len(full) - 1} {
+		if _, err := stkde.ReadGridSnapshot(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("snapshot truncated to %d of %d bytes read without error", cut, len(full))
+		}
+	}
+}
+
+func TestGridSnapshotBadMagic(t *testing.T) {
+	g := estimateSmallGrid(t)
+	var buf bytes.Buffer
+	if err := stkde.WriteGridSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := buf.Bytes()
+	corrupted[0] = 'X'
+	_, err := stkde.ReadGridSnapshot(bytes.NewReader(corrupted))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("corrupted magic read with err = %v", err)
+	}
+}
+
+// TestGridSnapshotBadHeader: a header that derives an invalid spec (zero
+// bandwidth) is rejected rather than allocating a bogus grid.
+func TestGridSnapshotBadHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("STKDEG1\n")
+	for i := 0; i < 10; i++ { // all-zero header: invalid extents/resolutions
+		var b [8]byte
+		buf.Write(b[:])
+	}
+	if _, err := stkde.ReadGridSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("all-zero header accepted")
+	}
+}
+
+// TestPointsCSVRoundTrip covers the other half of stkde/io.go for
+// completeness: exact float round-tripping through the CSV codec.
+func TestPointsCSVRoundTrip(t *testing.T) {
+	pts := []stkde.Point{
+		{X: 1.5, Y: -2.25, T: 0},
+		{X: math.Pi, Y: 1e-12, T: 365.25},
+	}
+	var buf bytes.Buffer
+	if err := stkde.WritePointsCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := stkde.ReadPointsCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pts) {
+		t.Fatalf("got %d points, want %d", len(back), len(pts))
+	}
+	for i := range pts {
+		if back[i] != pts[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, back[i], pts[i])
+		}
+	}
+}

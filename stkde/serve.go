@@ -1,0 +1,28 @@
+package stkde
+
+import (
+	"repro/internal/grid"
+	"repro/internal/serve"
+)
+
+// Density serving (the cmd/stkded daemon): a long-running HTTP subsystem
+// that ingests datasets, caches estimated density cubes, coalesces
+// identical requests, and answers voxel/region/hotspot queries. See
+// repro/internal/serve for the endpoint reference.
+type (
+	// ServeConfig configures a DensityServer (cache bytes, worker pool,
+	// default algorithm). The zero value is production-safe.
+	ServeConfig = serve.Config
+	// DensityServer is the serving subsystem; it implements http.Handler,
+	// so it mounts directly on an http.Server or test mux.
+	DensityServer = serve.Server
+)
+
+// NewDensityServer creates a density-serving handler. Mount it with
+// http.Server{Handler: srv}; call srv.Shutdown on exit to drain in-flight
+// estimations into the cache.
+func NewDensityServer(cfg ServeConfig) *DensityServer { return serve.New(cfg) }
+
+// VoxelDensity is one voxel and its density estimate, as reported by
+// (*Grid).TopK — the top-k hotspot query of the serving subsystem.
+type VoxelDensity = grid.VoxelDensity

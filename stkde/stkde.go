@@ -112,6 +112,9 @@ func NewGrid(s Spec, b *Budget) (*Grid, error) { return grid.NewGrid(s, b) }
 // Algorithms returns every algorithm identifier.
 func Algorithms() []string { return core.Algorithms() }
 
+// ValidAlgorithm reports whether name is a known algorithm identifier.
+func ValidAlgorithm(name string) bool { return core.ValidAlgorithm(name) }
+
 // SequentialAlgorithms returns the single-thread algorithm identifiers.
 func SequentialAlgorithms() []string { return core.SequentialAlgorithms() }
 
