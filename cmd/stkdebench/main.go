@@ -7,6 +7,7 @@
 //	stkdebench -exp table3 -scale 0.2
 //	stkdebench -exp fig10 -scale 0.15 -maxthreads 16 -instances Dengue_Hr-VHb,PollenUS_Hr-Mb
 //	stkdebench -exp all -scale 0.1 -csv results
+//	stkdebench -exp kernels -scale 0.1 -repeats 3 -json BENCH
 package main
 
 import (
@@ -39,6 +40,7 @@ func run() error {
 		modeled    = flag.Bool("modeled", false, "model the speedup figures with calibrated single-core rates + schedule simulation (reproduces 16-thread shapes on small hosts)")
 		repeats    = flag.Int("repeats", 1, "measured runs per configuration, keeping the fastest")
 		csvPrefix  = flag.String("csv", "", "also write <prefix>_<exp>.csv")
+		jsonPrefix = flag.String("json", "", "also write <prefix>_<exp>.json (the BENCH_*.json trajectory format)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -95,20 +97,38 @@ func run() error {
 		}
 		if *csvPrefix != "" {
 			name := fmt.Sprintf("%s_%s.csv", *csvPrefix, e)
-			f, err := os.Create(name)
-			if err != nil {
+			if err := writeReport(name, rep, func(f *os.File) error {
+				return bench.WriteCSV(f, rep)
+			}); err != nil {
 				return err
 			}
-			if err := bench.WriteCSV(f, rep); err != nil {
-				f.Close()
+		}
+		if *jsonPrefix != "" {
+			name := fmt.Sprintf("%s_%s.json", *jsonPrefix, e)
+			if err := writeReport(name, rep, func(f *os.File) error {
+				return bench.WriteJSON(f, rep, cfg)
+			}); err != nil {
 				return err
 			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Printf("\nwrote %s (%d rows)\n", name, len(rep.Rows))
 		}
 	}
+	return nil
+}
+
+// writeReport creates name, runs write, and reports the row count.
+func writeReport(name string, rep *bench.Report, write func(*os.File) error) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (%d rows)\n", name, len(rep.Rows))
 	return nil
 }
 

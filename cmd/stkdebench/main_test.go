@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("1, 2,4,16")
@@ -19,6 +26,28 @@ func TestParseInts(t *testing.T) {
 	for _, bad := range []string{"", "a", "1,,2", "1;2"} {
 		if _, err := parseInts(bad); err == nil {
 			t.Errorf("parseInts(%q) should fail", bad)
+		}
+	}
+}
+
+func TestWriteReportJSON(t *testing.T) {
+	rep := &bench.Report{Exp: "kernels", Title: "t", Rows: []bench.Row{
+		{Instance: "X", Algo: "pb-sym[fast-sorted]", Seconds: 0.5, Speedup: 2},
+	}}
+	name := filepath.Join(t.TempDir(), "BENCH_kernels.json")
+	err := writeReport(name, rep, func(f *os.File) error {
+		return bench.WriteJSON(f, rep, bench.Config{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stkde-bench/v1", "pb-sym[fast-sorted]", "\"experiment\": \"kernels\""} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("trajectory file missing %q:\n%s", want, data)
 		}
 	}
 }

@@ -16,6 +16,17 @@
 // byte. It is exposed as stkde.EstimateDistributed, the -ranks flag of
 // cmd/stkde, and the "dist" experiment of cmd/stkdebench.
 //
+// The PB-family hot path is a specialized compute engine: the in-disk Y
+// range of every X column is computed once (disk spans), points are
+// pre-sorted by the Morton index of their home voxel for cache locality,
+// and kernels implementing the kernel.PolySpatial / kernel.PolyTemporal
+// specialization hook (the default Epanechnikov, plus quartic, triweight
+// and uniform) compile to monomorphic fill loops with no interface
+// dispatch — user-supplied kernels transparently use the generic path.
+// All engine configurations produce bitwise-identical volumes; the
+// "kernels" experiment of cmd/stkdebench records the speedup trajectory in
+// BENCH_*.json files.
+//
 // repro/internal/serve turns the library into a long-running service: a
 // dataset registry with content-addressed ingestion, an LRU grid cache
 // under a byte budget, singleflight request coalescing over a bounded

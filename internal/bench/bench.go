@@ -16,6 +16,9 @@
 //	        (temporal-slab sharding, the paper's future-work item)
 //	serve   HTTP serving throughput and cache-hit speedup of the
 //	        density-serving subsystem (repro/internal/serve)
+//	kernels hot-path compute-engine trajectory: sequential PB-SYM compute
+//	        under the dense/generic/devirtualized engines, sorted and
+//	        unsorted (the committed BENCH_kernels.json record)
 //
 // Absolute times differ from the paper's 2x8-core Xeon; the harness aims to
 // reproduce the qualitative shape: which algorithm wins where, the rough
@@ -115,17 +118,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Row is one measurement in a report.
+// Row is one measurement in a report. The JSON tags define the row layout
+// inside the committed BENCH_*.json trajectory files.
 type Row struct {
-	Instance string
-	Algo     string
-	Decomp   [3]int
-	Threads  int
-	Seconds  float64
-	Speedup  float64
-	OOM      bool
+	Instance string  `json:"instance"`
+	Algo     string  `json:"algo"`
+	Decomp   [3]int  `json:"decomp"`
+	Threads  int     `json:"threads"`
+	Seconds  float64 `json:"seconds"`
+	Speedup  float64 `json:"speedup,omitempty"`
+	OOM      bool    `json:"oom,omitempty"`
 	// Extra carries per-experiment values (e.g. "init_frac", "cp_rel").
-	Extra map[string]float64
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the outcome of one experiment.
@@ -135,10 +139,12 @@ type Report struct {
 	Rows  []Row
 }
 
-// Experiments lists the available experiment identifiers in paper order.
+// Experiments lists the available experiment identifiers in paper order,
+// followed by the post-paper experiments (distributed scaling, serving,
+// and the hot-path compute-engine trajectory).
 func Experiments() []string {
 	return []string{"table2", "table3", "fig7", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "dist", "serve"}
+		"fig11", "fig12", "fig13", "fig14", "fig15", "dist", "serve", "kernels"}
 }
 
 // Run executes the named experiment.
@@ -172,6 +178,8 @@ func Run(exp string, cfg Config) (*Report, error) {
 		return h.distScaling()
 	case "serve":
 		return h.serveExp()
+	case "kernels":
+		return h.kernelsExp()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)",
 		exp, strings.Join(Experiments(), ", "))

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -22,8 +23,8 @@ func quickCfg(out *bytes.Buffer) Config {
 }
 
 func TestExperimentsList(t *testing.T) {
-	if len(Experiments()) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(Experiments()))
 	}
 	var out bytes.Buffer
 	for _, exp := range Experiments() {
@@ -283,5 +284,65 @@ func TestServeExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "cache-hit speedup") {
 		t.Error("report title missing from formatted output")
+	}
+}
+
+func TestKernelsExperiment(t *testing.T) {
+	var out bytes.Buffer
+	cfg := quickCfg(&out)
+	cfg.Instances = cfg.Instances[:1]
+	rep, err := Run("kernels", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(kernelConfigs) {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(kernelConfigs))
+	}
+	for i, row := range rep.Rows {
+		want := core.AlgPBSYM + "[" + kernelConfigs[i].Name + "]"
+		if row.Algo != want {
+			t.Errorf("row %d algo = %q, want %q", i, row.Algo, want)
+		}
+		if row.Seconds <= 0 {
+			t.Errorf("%s: compute time not recorded", row.Algo)
+		}
+		if i > 0 && row.Speedup <= 0 {
+			t.Errorf("%s: speedup not recorded", row.Algo)
+		}
+		for _, key := range []string{"bin", "total"} {
+			if _, ok := row.Extra[key]; !ok {
+				t.Errorf("%s: missing extra %q", row.Algo, key)
+			}
+		}
+	}
+	if !strings.Contains(out.String(), "Hot-path engine") {
+		t.Error("report title missing from formatted output")
+	}
+}
+
+func TestWriteJSONTrajectory(t *testing.T) {
+	var out bytes.Buffer
+	cfg := quickCfg(&out)
+	cfg.Instances = cfg.Instances[:1]
+	rep, err := Run("kernels", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var tr Trajectory
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trajectory is not valid JSON: %v", err)
+	}
+	if tr.Schema != trajectorySchema || tr.Experiment != "kernels" {
+		t.Errorf("trajectory header wrong: %+v", tr)
+	}
+	if tr.CPUs < 1 || tr.GoVersion == "" || tr.Scale != cfg.Scale {
+		t.Errorf("machine context incomplete: %+v", tr)
+	}
+	if len(tr.Rows) != len(rep.Rows) {
+		t.Errorf("rows round-trip lost entries: %d vs %d", len(tr.Rows), len(rep.Rows))
 	}
 }

@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -66,6 +68,46 @@ func (t *table) flush(title string, cfg Config) {
 		line(r)
 	}
 	io.WriteString(t.w, b.String())
+}
+
+// Trajectory is the schema of the committed BENCH_*.json files: one
+// experiment report plus enough machine/config context to interpret the
+// numbers when a later PR compares against them.
+type Trajectory struct {
+	Schema     string  `json:"schema"`
+	Experiment string  `json:"experiment"`
+	Title      string  `json:"title"`
+	GoVersion  string  `json:"go"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	CPUs       int     `json:"cpus"`
+	Scale      float64 `json:"scale"`
+	Repeats    int     `json:"repeats"`
+	Rows       []Row   `json:"rows"`
+}
+
+// trajectorySchema versions the BENCH_*.json layout.
+const trajectorySchema = "stkde-bench/v1"
+
+// WriteJSON renders a report as an indented Trajectory JSON document, the
+// format of the committed BENCH_*.json perf-trajectory files.
+func WriteJSON(w io.Writer, rep *Report, cfg Config) error {
+	cfg = cfg.withDefaults()
+	t := Trajectory{
+		Schema:     trajectorySchema,
+		Experiment: rep.Exp,
+		Title:      rep.Title,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Scale:      cfg.Scale,
+		Repeats:    cfg.Repeats,
+		Rows:       rep.Rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
 }
 
 // WriteCSV renders a report's rows as CSV for downstream plotting.

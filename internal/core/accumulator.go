@@ -101,9 +101,11 @@ func (a *Accumulator) apply(pts []grid.Point, sign float64) {
 		}
 		return
 	}
-	// Large batch: checkerboard parity sets, exactly like PB-SYM-PD.
+	// Large batch: checkerboard parity sets, exactly like PB-SYM-PD, after
+	// the shared Morton locality pre-pass.
 	opt := a.opt
 	opt.AdaptiveBandwidth = nil
+	pts, _ = sortedByMorton(pts, a.g.Spec, opt)
 	s := newPDSetup(pts, a.g.Spec, opt, &c)
 	col := stencil.Checkerboard(s.lat)
 	byColor := make([][]int, col.NumColors)

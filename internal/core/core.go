@@ -52,26 +52,44 @@ const (
 	AlgPBSYMPDSCHREP = "pb-sym-pd-sched-rep"
 )
 
+// algorithms is every algorithm name in presentation order (the order used
+// by the paper's tables), built once at package init.
+var algorithms = []string{
+	AlgVB, AlgVBDEC, AlgPB, AlgPBDISK, AlgPBBAR, AlgPBSYM,
+	AlgPBSYMDR, AlgPBSYMDD,
+	AlgPBSYMPD, AlgPBSYMPDSCHED, AlgPBSYMPDREP, AlgPBSYMPDSCHREP,
+}
+
+// estimators maps algorithm names to implementations, built once at package
+// init so Estimate and ValidAlgorithm never rebuild it.
+var estimators = map[string]estimator{
+	AlgVB:            runVB,
+	AlgVBDEC:         runVBDEC,
+	AlgPB:            runPB,
+	AlgPBDISK:        runPBDISK,
+	AlgPBBAR:         runPBBAR,
+	AlgPBSYM:         runPBSYM,
+	AlgPBSYMDR:       runDR,
+	AlgPBSYMDD:       runDD,
+	AlgPBSYMPD:       runPD,
+	AlgPBSYMPDSCHED:  runPDSched,
+	AlgPBSYMPDREP:    runPDRep,
+	AlgPBSYMPDSCHREP: runPDSchedRep,
+}
+
 // Algorithms returns every algorithm name in presentation order (the order
-// used by the paper's tables).
+// used by the paper's tables). The returned slice is a copy; callers may
+// mutate it.
 func Algorithms() []string {
-	return []string{
-		AlgVB, AlgVBDEC, AlgPB, AlgPBDISK, AlgPBBAR, AlgPBSYM,
-		AlgPBSYMDR, AlgPBSYMDD,
-		AlgPBSYMPD, AlgPBSYMPDSCHED, AlgPBSYMPDREP, AlgPBSYMPDSCHREP,
-	}
+	return append([]string(nil), algorithms...)
 }
 
 // ValidAlgorithm reports whether name is a known algorithm identifier —
 // the single membership check behind every user-facing name validation
 // (CLI flags, the serving API).
 func ValidAlgorithm(name string) bool {
-	for _, a := range Algorithms() {
-		if a == name {
-			return true
-		}
-	}
-	return false
+	_, ok := estimators[name]
+	return ok
 }
 
 // SequentialAlgorithms returns the Section 2-3 algorithms.
@@ -86,6 +104,26 @@ func ParallelAlgorithms() []string {
 		AlgPBSYMPD, AlgPBSYMPDSCHED, AlgPBSYMPDREP, AlgPBSYMPDSCHREP,
 	}
 }
+
+// EngineMode selects the PB-family compute engine implementation. The
+// modes exist for A/B measurement and equivalence testing; they all produce
+// bitwise-identical densities for the same point order.
+type EngineMode int
+
+const (
+	// EngineAuto (the default) iterates packed disk spans and
+	// devirtualizes kernels that implement the kernel.PolySpatial /
+	// kernel.PolyTemporal specialization hook; other kernels fall back to
+	// interface dispatch over the same spans.
+	EngineAuto EngineMode = iota
+	// EngineGeneric forces interface dispatch in the fill loops while
+	// keeping span iteration (isolates the devirtualization gain).
+	EngineGeneric
+	// EngineDense forces the original dense bandwidth-box scan with
+	// per-voxel interface dispatch — the pre-optimization hot path, kept
+	// as the committed baseline of the "kernels" bench experiment.
+	EngineDense
+)
 
 // Options configures an estimation run. The zero value is valid: it uses
 // GOMAXPROCS threads, the paper's Epanechnikov kernels, an automatic
@@ -121,6 +159,16 @@ type Options struct {
 	// every voxel must be normalized as the full dataset's density. Zero
 	// (the default) normalizes by len(pts).
 	NormN int
+
+	// Engine selects the compute-engine implementation (see EngineMode).
+	// The zero value, EngineAuto, is the fastest correct choice.
+	Engine EngineMode
+
+	// NoSort disables the Morton-order locality pre-pass that all
+	// point-based algorithms run before streaming cylinders into the grid.
+	// Estimation stays correct either way (only the floating-point
+	// summation order changes); the knob exists for A/B benchmarking.
+	NoSort bool
 
 	// AdaptiveBandwidth, when non-nil, scales each point's bandwidths
 	// (both hs and ht) by the returned positive factor, implementing the
@@ -220,27 +268,24 @@ type Result struct {
 
 type estimator func(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error)
 
-func registry() map[string]estimator {
-	return map[string]estimator{
-		AlgVB:            runVB,
-		AlgVBDEC:         runVBDEC,
-		AlgPB:            runPB,
-		AlgPBDISK:        runPBDISK,
-		AlgPBBAR:         runPBBAR,
-		AlgPBSYM:         runPBSYM,
-		AlgPBSYMDR:       runDR,
-		AlgPBSYMDD:       runDD,
-		AlgPBSYMPD:       runPD,
-		AlgPBSYMPDSCHED:  runPDSched,
-		AlgPBSYMPDREP:    runPDRep,
-		AlgPBSYMPDSCHREP: runPDSchedRep,
+// sortedByMorton is the shared locality pre-pass: it returns pts reordered
+// by the Z-order index of each point's home voxel so consecutive cylinder
+// updates touch cache-adjacent grid rows, plus the wall-clock time spent
+// (charged to Phases.Bin by callers). The input is never mutated; with
+// NoSort the pass is free and the input is returned as-is.
+func sortedByMorton(pts []grid.Point, spec grid.Spec, opt Options) ([]grid.Point, time.Duration) {
+	if opt.NoSort || len(pts) < 2 {
+		return pts, 0
 	}
+	t0 := time.Now()
+	sorted := grid.SortByMorton(pts, spec)
+	return sorted, time.Since(t0)
 }
 
 // Estimate computes the space-time kernel density estimate of pts on the
 // discretized domain described by spec, using the named algorithm.
 func Estimate(algorithm string, pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
-	fn, ok := registry()[algorithm]
+	fn, ok := estimators[algorithm]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown algorithm %q (known: %v)", algorithm, Algorithms())
 	}

@@ -392,8 +392,18 @@ func TestPhasesRecorded(t *testing.T) {
 	if res.Phases.Compute <= 0 {
 		t.Error("PB-SYM compute phase not recorded")
 	}
-	if res.Phases.Reduce != 0 || res.Phases.Bin != 0 {
-		t.Error("PB-SYM should have no reduce/bin phase")
+	if res.Phases.Reduce != 0 {
+		t.Error("PB-SYM should have no reduce phase")
+	}
+	if res.Phases.Bin <= 0 {
+		t.Error("PB-SYM bin phase (Morton locality sort) not recorded")
+	}
+	unsorted, err := Estimate(AlgPBSYM, pts, spec, Options{NoSort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unsorted.Phases.Bin != 0 {
+		t.Error("NoSort run should not record a bin phase")
 	}
 
 	res, err = Estimate(AlgPBSYMDR, pts, spec, Options{Threads: 4})

@@ -7,6 +7,24 @@ import (
 	"repro/internal/kernel"
 )
 
+// This file is the PB-family compute engine. Three implementations share
+// one apply* entry point per algorithm:
+//
+//   - the span engine (default): per X column the in-disk Y range is
+//     computed once (disk spans), the spatial and temporal invariants are
+//     stored packed, and the voxel update is a 4-way unrolled
+//     bounds-check-free multiply-add over contiguous rows;
+//   - within the span engine, kernels advertising the kernel.PolySpatial /
+//     kernel.PolyTemporal hook (the default Epanechnikov, plus quartic,
+//     triweight and uniform) are devirtualized: the fill loops are
+//     monomorphic and never dispatch through an interface;
+//   - the dense engine (Options.Engine == EngineDense): the original
+//     bandwidth-box scan with per-voxel interface dispatch, kept verbatim
+//     as the measured baseline of the "kernels" bench experiment.
+//
+// Every engine produces bitwise-identical densities for the same point
+// order; the fastpath property tests assert it.
+
 // ctx holds the evaluation context shared by every point-based algorithm:
 // the problem spec, kernels, and the constants of the density formula.
 type ctx struct {
@@ -26,6 +44,17 @@ type ctx struct {
 	boxHt      int
 	maxScale   float64
 	adaptiveOn bool
+
+	// Engine selection (see Options.Engine). dense forces the legacy box
+	// scan; skFast/tkFast devirtualize the fill loops for polynomial
+	// kernels c*(1-x)^deg.
+	dense  bool
+	skFast bool
+	tkFast bool
+	skC    float64
+	tkC    float64
+	skDeg  int
+	tkDeg  int
 }
 
 // geom is the per-point evaluation geometry. With uniform bandwidths it is
@@ -60,6 +89,19 @@ func newCtx(pts []grid.Point, spec grid.Spec, opt Options) ctx {
 		boxHs:    spec.Hs,
 		boxHt:    spec.Ht,
 		maxScale: 1,
+	}
+	switch opt.Engine {
+	case EngineDense:
+		c.dense = true
+	case EngineGeneric:
+		// Span iteration with interface dispatch.
+	default: // EngineAuto
+		if kc, deg, ok := kernel.SpecializeSpatial(opt.Spatial); ok {
+			c.skFast, c.skC, c.skDeg = true, kc, deg
+		}
+		if tc, deg, ok := kernel.SpecializeTemporal(opt.Temporal); ok {
+			c.tkFast, c.tkC, c.tkDeg = true, tc, deg
+		}
 	}
 	if c.adaptive != nil {
 		c.adaptiveOn = true
@@ -163,11 +205,31 @@ func (v view) row(X, Y, t0, nt int) []float64 {
 	return v.data[base : base+nt]
 }
 
+// base returns the flat index of voxel (X, Y, T) for incremental row
+// arithmetic.
+func (v view) base(X, Y, T int) int {
+	return (X-v.box.X0)*v.strideX + (Y-v.box.Y0)*v.strideY + (T - v.box.T0)
+}
+
 // scratch holds per-worker temporaries (the Ks disk and Kt bar of Algorithm
-// 3) and per-worker work counters, merged into Stats at the end of a run.
+// 3, plus the per-column disk spans of the span engine) and per-worker work
+// counters, merged into Stats at the end of a run.
 type scratch struct {
-	disk []float64
-	bar  []float64
+	disk []float64 // spatial invariant; packed by spans (span engine) or dense
+	bar  []float64 // temporal invariant; packed from barLo (span engine) or dense
+
+	spanLo []int32 // per X column: first in-disk Y, relative to box.Y0
+	spanN  []int32 // per X column: in-disk Y count
+	barLo  int     // first in-support T, relative to box.T0
+	barN   int     // in-support T count
+
+	// Per-point Y-row caches: the dy-derived quantities are invariant
+	// across X columns, so the span engine computes them once per point
+	// instead of once per (X, Y) voxel. Values are exactly the dense
+	// engine's per-voxel expressions.
+	dy2 []float64 // (CenterY(Y)-p.Y)^2, the span predicate term
+	nv  []float64 // (CenterY(Y)-p.Y)*invHS, the kernel's v argument
+	nv2 []float64 // nv^2, the polynomial kernels' v^2 term
 
 	updates int64
 	skEvals int64
@@ -178,12 +240,18 @@ func newScratch(c *ctx) *scratch {
 	dxy := 2*c.maxHsVoxels() + 1
 	dt := 2*c.maxHtVoxels() + 1
 	return &scratch{
-		disk: make([]float64, dxy*dxy),
-		bar:  make([]float64, dt),
+		disk:   make([]float64, dxy*dxy),
+		bar:    make([]float64, dt),
+		spanLo: make([]int32, dxy),
+		spanN:  make([]int32, dxy),
+		dy2:    make([]float64, dxy),
+		nv:     make([]float64, dxy),
+		nv2:    make([]float64, dxy),
 	}
 }
 
-func (sc *scratch) ensure(nxy, nt int) {
+func (sc *scratch) ensure(nx, ny, nt int) {
+	nxy := nx * ny
 	if cap(sc.disk) < nxy {
 		sc.disk = make([]float64, nxy)
 	}
@@ -192,6 +260,48 @@ func (sc *scratch) ensure(nxy, nt int) {
 		sc.bar = make([]float64, nt)
 	}
 	sc.bar = sc.bar[:nt]
+	if cap(sc.spanLo) < nx {
+		sc.spanLo = make([]int32, nx)
+		sc.spanN = make([]int32, nx)
+	}
+	sc.spanLo = sc.spanLo[:nx]
+	sc.spanN = sc.spanN[:nx]
+	if cap(sc.dy2) < ny {
+		sc.dy2 = make([]float64, ny)
+		sc.nv = make([]float64, ny)
+		sc.nv2 = make([]float64, ny)
+	}
+	sc.dy2 = sc.dy2[:ny]
+	sc.nv = sc.nv[:ny]
+	sc.nv2 = sc.nv2[:ny]
+}
+
+// fillDy2 computes the per-Y-row squared spatial offsets of the box, the
+// only cache diskSpans needs (PB-BAR re-evaluates its kernel with fresh
+// divisions, so it skips the normalized-offset caches entirely).
+func fillDy2(c *ctx, p grid.Point, box grid.Box, sc *scratch) {
+	ny := box.Y1 - box.Y0 + 1
+	dy2 := sc.dy2[:ny]
+	for iy := 0; iy < ny; iy++ {
+		dy := c.spec.CenterY(box.Y0+iy) - p.Y
+		dy2[iy] = dy * dy
+	}
+}
+
+// fillYCaches computes the per-Y-row quantities of the box: dy^2 for the
+// span predicate and the normalized offset (and its square) for the kernel
+// fills. Each expression matches the dense engine's per-voxel computation,
+// so downstream values stay bitwise identical.
+func fillYCaches(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) {
+	ny := box.Y1 - box.Y0 + 1
+	dy2, nv, nv2 := sc.dy2[:ny], sc.nv[:ny], sc.nv2[:ny]
+	for iy := 0; iy < ny; iy++ {
+		dy := c.spec.CenterY(box.Y0+iy) - p.Y
+		dy2[iy] = dy * dy
+		v := dy * g.invHS
+		nv[iy] = v
+		nv2[iy] = v * v
+	}
 }
 
 func (sc *scratch) mergeInto(st *Stats) {
@@ -209,7 +319,8 @@ type applyFn func(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch)
 // bandwidth box that passes the distance tests. Like the paper's
 // pseudocode, kernel arguments are computed with per-evaluation divisions
 // ((x-xi)/hs); only PB-SYM replaces them with precomputed reciprocals.
-// This cost difference is part of what Table 3 measures.
+// This cost difference is part of what Table 3 measures, so PB is never
+// span-optimized.
 func applyPB(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
 	g := c.geom(p)
 	box := g.box.Clip(clip).Clip(v.box)
@@ -242,14 +353,418 @@ func applyPB(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
 // applyDisk is PB-DISK: the spatial invariant Ks is computed once per point
 // (the disk); the temporal kernel is still evaluated for every voxel.
 func applyDisk(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
+	if c.dense {
+		applyDiskDense(v, c, p, clip, sc)
+		return
+	}
 	g := c.geom(p)
 	box := g.box.Clip(clip).Clip(v.box)
 	if box.Empty() {
 		return
 	}
 	nx, ny, nt := box.Dims()
-	sc.ensure(nx*ny, nt)
+	sc.ensure(nx, ny, nt)
 	fillDisk(c, p, g, box, sc)
+	tLo, tHi := barBounds(c, p, g, box)
+	if tHi < tLo {
+		return
+	}
+	bn := tHi - tLo + 1
+	base := v.base(box.X0, box.Y0, tLo)
+	off := 0
+	for ix := 0; ix < nx; ix++ {
+		n := int(sc.spanN[ix])
+		if n > 0 {
+			rb := base + int(sc.spanLo[ix])*v.strideY
+			ks := sc.disk[off : off+n]
+			for iy := 0; iy < n; iy++ {
+				row := v.data[rb : rb+bn]
+				for j := range row {
+					dt := c.spec.CenterT(tLo+j) - p.T
+					row[j] += ks[iy] * c.tk.Eval(dt/g.ht)
+				}
+				rb += v.strideY
+			}
+			off += n
+			sc.tkEvals += int64(n * bn)
+			sc.updates += int64(n * bn)
+		}
+		base += v.strideX
+	}
+}
+
+// applyBar is PB-BAR: the temporal invariant Kt is computed once per point
+// (the bar); the spatial kernel is still evaluated for every voxel.
+func applyBar(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
+	if c.dense {
+		applyBarDense(v, c, p, clip, sc)
+		return
+	}
+	g := c.geom(p)
+	box := g.box.Clip(clip).Clip(v.box)
+	if box.Empty() {
+		return
+	}
+	nx, ny, nt := box.Dims()
+	sc.ensure(nx, ny, nt)
+	fillDy2(c, p, box, sc)
+	diskSpans(c, p, g, box, sc)
+	fillBar(c, p, g, box, sc)
+	if sc.barN == 0 {
+		return
+	}
+	bar := sc.bar[:sc.barN]
+	base := v.base(box.X0, box.Y0, box.T0+sc.barLo)
+	for ix := 0; ix < nx; ix++ {
+		n := int(sc.spanN[ix])
+		if n > 0 {
+			X := box.X0 + ix
+			dx := c.spec.CenterX(X) - p.X
+			lo := box.Y0 + int(sc.spanLo[ix])
+			rb := base + int(sc.spanLo[ix])*v.strideY
+			for iy := 0; iy < n; iy++ {
+				dy := c.spec.CenterY(lo+iy) - p.Y
+				row := v.data[rb : rb+len(bar)]
+				for j, kt := range bar {
+					if kt != 0 {
+						row[j] += c.sk.Eval(dx/g.hs, dy/g.hs) * kt * g.norm
+						sc.skEvals++
+						sc.updates++
+					}
+				}
+				rb += v.strideY
+			}
+		}
+		base += v.strideX
+	}
+}
+
+// applySym is Algorithm 3 (PB-SYM): both invariants are computed once and
+// every voxel update is a single multiply-add of disk and bar entries. The
+// span engine iterates only the packed in-disk spans, walks rows with
+// incremental base arithmetic, and streams the multiply-add through madd4.
+func applySym(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
+	if c.dense {
+		applySymDense(v, c, p, clip, sc)
+		return
+	}
+	g := c.geom(p)
+	box := g.box.Clip(clip).Clip(v.box)
+	if box.Empty() {
+		return
+	}
+	nx, ny, nt := box.Dims()
+	sc.ensure(nx, ny, nt)
+	fillDisk(c, p, g, box, sc)
+	fillBar(c, p, g, box, sc)
+	if sc.barN == 0 {
+		return
+	}
+	bar := sc.bar[:sc.barN]
+	bn := len(bar)
+	data := v.data
+	base := v.base(box.X0, box.Y0, box.T0+sc.barLo)
+	off := 0
+	for ix := 0; ix < nx; ix++ {
+		n := int(sc.spanN[ix])
+		if n > 0 {
+			rb := base + int(sc.spanLo[ix])*v.strideY
+			ks := sc.disk[off : off+n]
+			for iy := 0; iy < n; iy++ {
+				// 4-way unrolled multiply-add; the row reslice pins
+				// len(row) == len(bar) so bounds checks vanish. The
+				// per-element operation (one multiply, one add, in index
+				// order) is exactly the dense engine's, so results are
+				// bitwise identical.
+				k := ks[iy]
+				row := data[rb : rb+bn]
+				j := 0
+				for ; j+4 <= bn; j += 4 {
+					row[j] += k * bar[j]
+					row[j+1] += k * bar[j+1]
+					row[j+2] += k * bar[j+2]
+					row[j+3] += k * bar[j+3]
+				}
+				for ; j < bn; j++ {
+					row[j] += k * bar[j]
+				}
+				rb += v.strideY
+			}
+			off += n
+			sc.updates += int64(n * bn)
+		}
+		base += v.strideX
+	}
+}
+
+// smallSpanCutoff is the extent below which diskSpans and barBounds refine
+// directly from the box edges: for tiny boxes the sqrt and float-to-int
+// guesses cost more than the handful of exact predicate tests they save.
+const smallSpanCutoff = 12
+
+// diskSpans computes, for every X column of box, the contiguous range of Y
+// rows whose voxel centers lie strictly inside the spatial bandwidth circle
+// of p (the exact predicate dx^2+dy^2 < hs^2 of the dense engine). A sqrt
+// gives the candidate range; the ends are then refined with the exact
+// predicate so span membership is bitwise-faithful to the dense scan. It
+// returns the packed element total.
+func diskSpans(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) int {
+	nx := box.X1 - box.X0 + 1
+	ny := box.Y1 - box.Y0 + 1
+	invSRes := 1 / c.spec.SRes
+	y0 := c.spec.Domain.Y0
+	dy2 := sc.dy2 // filled by fillYCaches
+	small := ny <= smallSpanCutoff
+	total := 0
+	for ix := 0; ix < nx; ix++ {
+		dx := c.spec.CenterX(box.X0+ix) - p.X
+		dxx := dx * dx
+		rem := g.hs2 - dxx
+		if rem <= 0 {
+			sc.spanLo[ix], sc.spanN[ix] = 0, 0
+			continue
+		}
+		lo, hi := box.Y0, box.Y1
+		if !small {
+			// Candidate range from the circle equation, one voxel of
+			// slack on each side; the exact predicate trims the rest.
+			hw := math.Sqrt(rem)
+			lo = int(math.Floor((p.Y-hw-y0)*invSRes-0.5)) - 1
+			hi = int(math.Ceil((p.Y+hw-y0)*invSRes-0.5)) + 1
+			if lo < box.Y0 {
+				lo = box.Y0
+			}
+			if hi > box.Y1 {
+				hi = box.Y1
+			}
+		}
+		for lo <= hi && dxx+dy2[lo-box.Y0] >= g.hs2 {
+			lo++
+		}
+		for hi >= lo && dxx+dy2[hi-box.Y0] >= g.hs2 {
+			hi--
+		}
+		if hi < lo {
+			sc.spanLo[ix], sc.spanN[ix] = 0, 0
+			continue
+		}
+		sc.spanLo[ix] = int32(lo - box.Y0)
+		sc.spanN[ix] = int32(hi - lo + 1)
+		total += hi - lo + 1
+	}
+	return total
+}
+
+// barBounds returns the inclusive T range of box whose voxel centers lie
+// within the temporal bandwidth (the dense predicate -ht <= dt <= ht),
+// refined exactly like diskSpans.
+func barBounds(c *ctx, p grid.Point, g geom, box grid.Box) (int, int) {
+	lo, hi := box.T0, box.T1
+	if hi-lo+1 > smallSpanCutoff {
+		invTRes := 1 / c.spec.TRes
+		t0 := c.spec.Domain.T0
+		ot := float64(c.spec.OT)
+		lo = int(math.Floor((p.T-g.ht-t0)*invTRes-0.5-ot)) - 1
+		hi = int(math.Ceil((p.T+g.ht-t0)*invTRes-0.5-ot)) + 1
+		if lo < box.T0 {
+			lo = box.T0
+		}
+		if hi > box.T1 {
+			hi = box.T1
+		}
+	}
+	for lo <= hi {
+		dt := c.spec.CenterT(lo) - p.T
+		if dt >= -g.ht && dt <= g.ht {
+			break
+		}
+		lo++
+	}
+	for hi >= lo {
+		dt := c.spec.CenterT(hi) - p.T
+		if dt >= -g.ht && dt <= g.ht {
+			break
+		}
+		hi--
+	}
+	return lo, hi
+}
+
+// fillDisk computes the spatial invariant Ks packed over the in-disk spans
+// of the box, with the normalization constant folded in (as in Algorithm
+// 3). Polynomial kernels take the monomorphic fast loops; everything else
+// dispatches through the interface once per in-disk voxel.
+func fillDisk(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) {
+	fillYCaches(c, p, g, box, sc)
+	total := diskSpans(c, p, g, box, sc)
+	sc.skEvals += int64(total)
+	if c.skFast {
+		fillDiskPoly(c, p, g, box, sc)
+		return
+	}
+	nx := box.X1 - box.X0 + 1
+	nv := sc.nv
+	off := 0
+	for ix := 0; ix < nx; ix++ {
+		n := int(sc.spanN[ix])
+		if n == 0 {
+			continue
+		}
+		dx := c.spec.CenterX(box.X0+ix) - p.X
+		u := dx * g.invHS
+		lo := int(sc.spanLo[ix])
+		dst := sc.disk[off : off+n]
+		for iy := range dst {
+			dst[iy] = c.sk.Eval(u, nv[lo+iy]) * g.norm
+		}
+		off += n
+	}
+}
+
+// fillDiskPoly is the devirtualized fillDisk for kernels c*(1-r^2)^deg.
+// Each arm reproduces the kernel's Eval expression (same operand order and
+// associativity, same support branch), so the packed values are bitwise
+// identical to interface dispatch.
+func fillDiskPoly(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) {
+	nx := box.X1 - box.X0 + 1
+	kc, invHS, norm := c.skC, g.invHS, g.norm
+	nv2 := sc.nv2
+	off := 0
+	for ix := 0; ix < nx; ix++ {
+		n := int(sc.spanN[ix])
+		if n == 0 {
+			continue
+		}
+		dx := c.spec.CenterX(box.X0+ix) - p.X
+		u := dx * invHS
+		uu := u * u
+		w2 := nv2[sc.spanLo[ix]:][:n]
+		dst := sc.disk[off : off+n]
+		switch c.skDeg {
+		case 0:
+			kn := kc * norm
+			for iy := range dst {
+				if r2 := uu + w2[iy]; r2 >= 1 {
+					dst[iy] = 0
+				} else {
+					dst[iy] = kn
+				}
+			}
+		case 1:
+			for iy := range dst {
+				if r2 := uu + w2[iy]; r2 >= 1 {
+					dst[iy] = 0
+				} else {
+					dst[iy] = kc * (1 - r2) * norm
+				}
+			}
+		case 2:
+			for iy := range dst {
+				if r2 := uu + w2[iy]; r2 >= 1 {
+					dst[iy] = 0
+				} else {
+					d := 1 - r2
+					dst[iy] = kc * d * d * norm
+				}
+			}
+		default:
+			for iy := range dst {
+				if r2 := uu + w2[iy]; r2 >= 1 {
+					dst[iy] = 0
+				} else {
+					d := 1 - r2
+					dst[iy] = kc * d * d * d * norm
+				}
+			}
+		}
+		off += n
+	}
+}
+
+// fillBar computes the temporal invariant Kt packed over the in-support T
+// range of the box (sc.barLo/sc.barN), devirtualized for polynomial
+// kernels.
+func fillBar(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) {
+	lo, hi := barBounds(c, p, g, box)
+	if hi < lo {
+		sc.barLo, sc.barN = 0, 0
+		return
+	}
+	sc.barLo = lo - box.T0
+	sc.barN = hi - lo + 1
+	bar := sc.bar[:sc.barN]
+	sc.tkEvals += int64(sc.barN)
+	if !c.tkFast {
+		for j := range bar {
+			dt := c.spec.CenterT(lo+j) - p.T
+			bar[j] = c.tk.Eval(dt * g.invHT)
+		}
+		return
+	}
+	kc, invHT := c.tkC, g.invHT
+	switch c.tkDeg {
+	case 0:
+		for j := range bar {
+			dt := c.spec.CenterT(lo+j) - p.T
+			w := dt * invHT
+			if w <= -1 || w >= 1 {
+				bar[j] = 0
+			} else {
+				bar[j] = kc
+			}
+		}
+	case 1:
+		for j := range bar {
+			dt := c.spec.CenterT(lo+j) - p.T
+			w := dt * invHT
+			if w <= -1 || w >= 1 {
+				bar[j] = 0
+			} else {
+				bar[j] = kc * (1 - w*w)
+			}
+		}
+	case 2:
+		for j := range bar {
+			dt := c.spec.CenterT(lo+j) - p.T
+			w := dt * invHT
+			if w <= -1 || w >= 1 {
+				bar[j] = 0
+			} else {
+				d := 1 - w*w
+				bar[j] = kc * d * d
+			}
+		}
+	default:
+		for j := range bar {
+			dt := c.spec.CenterT(lo+j) - p.T
+			w := dt * invHT
+			if w <= -1 || w >= 1 {
+				bar[j] = 0
+			} else {
+				d := 1 - w*w
+				bar[j] = kc * d * d * d
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dense engine: the original bandwidth-box scan, selected by EngineDense.
+// It is the committed baseline that the "kernels" bench experiment and the
+// BENCH_*.json trajectory measure the span engine against, and the
+// reference the fastpath property tests compare bitwise.
+// ---------------------------------------------------------------------------
+
+// applyDiskDense is the dense-scan PB-DISK.
+func applyDiskDense(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
+	g := c.geom(p)
+	box := g.box.Clip(clip).Clip(v.box)
+	if box.Empty() {
+		return
+	}
+	nx, ny, nt := box.Dims()
+	sc.ensure(nx, ny, nt)
+	fillDiskDense(c, p, g, box, sc)
 	i := 0
 	for X := box.X0; X <= box.X1; X++ {
 		for Y := box.Y0; Y <= box.Y1; Y++ {
@@ -271,17 +786,16 @@ func applyDisk(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
 	}
 }
 
-// applyBar is PB-BAR: the temporal invariant Kt is computed once per point
-// (the bar); the spatial kernel is still evaluated for every voxel.
-func applyBar(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
+// applyBarDense is the dense-scan PB-BAR.
+func applyBarDense(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
 	g := c.geom(p)
 	box := g.box.Clip(clip).Clip(v.box)
 	if box.Empty() {
 		return
 	}
 	_, _, nt := box.Dims()
-	sc.ensure(1, nt)
-	fillBar(c, p, g, box, sc)
+	sc.ensure(1, 1, nt)
+	fillBarDense(c, p, g, box, sc)
 	for X := box.X0; X <= box.X1; X++ {
 		dx := c.spec.CenterX(X) - p.X
 		dxx := dx * dx
@@ -302,18 +816,17 @@ func applyBar(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
 	}
 }
 
-// applySym is Algorithm 3 (PB-SYM): both invariants are computed once and
-// every voxel update is a single multiply-add of disk and bar entries.
-func applySym(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
+// applySymDense is the dense-scan PB-SYM.
+func applySymDense(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
 	g := c.geom(p)
 	box := g.box.Clip(clip).Clip(v.box)
 	if box.Empty() {
 		return
 	}
 	nx, ny, nt := box.Dims()
-	sc.ensure(nx*ny, nt)
-	fillDisk(c, p, g, box, sc)
-	fillBar(c, p, g, box, sc)
+	sc.ensure(nx, ny, nt)
+	fillDiskDense(c, p, g, box, sc)
+	fillBarDense(c, p, g, box, sc)
 	bar := sc.bar
 	i := 0
 	for X := box.X0; X <= box.X1; X++ {
@@ -332,9 +845,10 @@ func applySym(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
 	}
 }
 
-// fillDisk computes the spatial invariant Ks over the box's (X, Y) extent,
-// with the normalization constant folded in (as in Algorithm 3).
-func fillDisk(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) {
+// fillDiskDense computes the spatial invariant Ks over the box's full
+// (X, Y) extent, with the normalization constant folded in (as in
+// Algorithm 3); out-of-circle entries are stored as zeros.
+func fillDiskDense(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) {
 	i := 0
 	for X := box.X0; X <= box.X1; X++ {
 		dx := c.spec.CenterX(X) - p.X
@@ -352,8 +866,9 @@ func fillDisk(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) {
 	}
 }
 
-// fillBar computes the temporal invariant Kt over the box's T extent.
-func fillBar(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) {
+// fillBarDense computes the temporal invariant Kt over the box's full T
+// extent; out-of-support entries are stored as zeros.
+func fillBarDense(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) {
 	for j := 0; j <= box.T1-box.T0; j++ {
 		dt := c.spec.CenterT(box.T0+j) - p.T
 		if dt >= -g.ht && dt <= g.ht {

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/grid"
+)
+
+// benchSetup builds a mid-size instance whose cylinders are large enough
+// (17x17x13 boxes) for the inner-loop differences to dominate.
+func benchSetup(b *testing.B) ([]grid.Point, grid.Spec) {
+	b.Helper()
+	spec, err := grid.NewSpec(grid.Domain{GX: 96, GY: 96, GT: 64}, 1, 1, 8, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := data.Epidemic{Clusters: 6}.Generate(2000, spec.Domain, 42)
+	return pts, spec
+}
+
+// BenchmarkApplySym measures one full PB-SYM pass over the point set per
+// engine: the dense baseline, the span engine with interface dispatch, and
+// the devirtualized span engine.
+func BenchmarkApplySym(b *testing.B) {
+	pts, spec := benchSetup(b)
+	for _, em := range engineModes {
+		b.Run(em.name, func(b *testing.B) {
+			opt := Options{Engine: em.mode}.withDefaults()
+			c := newCtx(pts, spec, opt)
+			sc := newScratch(&c)
+			g, err := grid.NewGrid(spec, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v := gridView(g)
+			bounds := spec.Bounds()
+			b.SetBytes(int64(len(pts)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range pts {
+					applySym(v, &c, p, bounds, sc)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFillDisk isolates the invariant computation: span+poly versus
+// the dense interface-dispatch scan.
+func BenchmarkFillDisk(b *testing.B) {
+	pts, spec := benchSetup(b)
+	p := pts[0]
+	for _, em := range engineModes {
+		b.Run(em.name, func(b *testing.B) {
+			opt := Options{Engine: em.mode}.withDefaults()
+			c := newCtx(pts, spec, opt)
+			sc := newScratch(&c)
+			g := c.geom(p)
+			box := g.box
+			nx, ny, nt := box.Dims()
+			sc.ensure(nx, ny, nt)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if c.dense {
+					fillDiskDense(&c, p, g, box, sc)
+				} else {
+					fillDisk(&c, p, g, box, sc)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimatePBSYM measures the full estimator (init + sort +
+// compute) with and without the Morton locality pre-pass.
+func BenchmarkEstimatePBSYM(b *testing.B) {
+	pts, spec := benchSetup(b)
+	for _, cfg := range []struct {
+		name string
+		opt  Options
+	}{
+		{"sorted", Options{Threads: 1}},
+		{"unsorted", Options{Threads: 1, NoSort: true}},
+		{"dense-unsorted", Options{Threads: 1, NoSort: true, Engine: EngineDense}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Estimate(AlgPBSYM, pts, spec, cfg.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res.Grid.Release()
+			}
+		})
+	}
+}

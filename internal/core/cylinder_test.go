@@ -38,20 +38,20 @@ func TestGoldenSinglePoint(t *testing.T) {
 	}
 }
 
-// TestFillDiskBarMatchDirectEval: the cached invariants must equal direct
-// kernel evaluation at every offset.
+// TestFillDiskBarMatchDirectEval: the cached invariants of the dense
+// baseline engine must equal direct kernel evaluation at every offset.
 func TestFillDiskBarMatchDirectEval(t *testing.T) {
 	spec := testSpec(t, 20, 20, 16, 3.7, 2.9)
 	pts := testPoints(1, spec.Domain, 5)
-	c := newCtx(pts, spec, Options{}.withDefaults())
+	c := newCtx(pts, spec, Options{Engine: EngineDense}.withDefaults())
 	sc := newScratch(&c)
 	p := pts[0]
 	g := c.geom(p)
 	box := g.box
 	nx, ny, nt := box.Dims()
-	sc.ensure(nx*ny, nt)
-	fillDisk(&c, p, g, box, sc)
-	fillBar(&c, p, g, box, sc)
+	sc.ensure(nx, ny, nt)
+	fillDiskDense(&c, p, g, box, sc)
+	fillBarDense(&c, p, g, box, sc)
 
 	sk := kernel.Epanechnikov2D{}
 	tk := kernel.Epanechnikov1D{}
@@ -78,6 +78,61 @@ func TestFillDiskBarMatchDirectEval(t *testing.T) {
 		}
 		if math.Abs(sc.bar[j]-want) > 1e-16 {
 			t.Fatalf("bar[%d] = %g, want %g", j, sc.bar[j], want)
+		}
+	}
+}
+
+// TestSpanFillMatchesDenseFill: the packed span layout must hold exactly
+// the nonzero-support subset of the dense layout, bitwise.
+func TestSpanFillMatchesDenseFill(t *testing.T) {
+	spec := testSpec(t, 20, 20, 16, 3.7, 2.9)
+	pts := testPoints(30, spec.Domain, 5)
+	c := newCtx(pts, spec, Options{}.withDefaults())
+	if !c.skFast || !c.tkFast {
+		t.Fatal("default kernels must specialize")
+	}
+	dense := newScratch(&c)
+	span := newScratch(&c)
+	for _, p := range pts {
+		g := c.geom(p)
+		box := g.box
+		nx, ny, nt := box.Dims()
+		dense.ensure(nx, ny, nt)
+		span.ensure(nx, ny, nt)
+		fillDiskDense(&c, p, g, box, dense)
+		fillBarDense(&c, p, g, box, dense)
+		fillDisk(&c, p, g, box, span)
+		fillBar(&c, p, g, box, span)
+
+		off := 0
+		for ix := 0; ix < nx; ix++ {
+			lo, n := int(span.spanLo[ix]), int(span.spanN[ix])
+			for iy := 0; iy < ny; iy++ {
+				want := dense.disk[ix*ny+iy]
+				if iy < lo || iy >= lo+n {
+					// Outside the span the dense value must be zero.
+					if want != 0 {
+						t.Fatalf("span missed nonzero disk entry at (%d,%d): %g", ix, iy, want)
+					}
+					continue
+				}
+				if got := span.disk[off+iy-lo]; got != want {
+					t.Fatalf("packed disk (%d,%d) = %g, want %g", ix, iy, got, want)
+				}
+			}
+			off += n
+		}
+		for j := 0; j < nt; j++ {
+			want := dense.bar[j]
+			if j < span.barLo || j >= span.barLo+span.barN {
+				if want != 0 {
+					t.Fatalf("bar span missed nonzero entry at %d: %g", j, want)
+				}
+				continue
+			}
+			if got := span.bar[j-span.barLo]; got != want {
+				t.Fatalf("packed bar %d = %g, want %g", j, got, want)
+			}
 		}
 	}
 }
@@ -115,18 +170,20 @@ func TestViewAddressing(t *testing.T) {
 // TestScratchEnsureGrowth: ensure must grow capacity and preserve slicing.
 func TestScratchEnsureGrowth(t *testing.T) {
 	sc := &scratch{}
-	sc.ensure(10, 4)
-	if len(sc.disk) != 10 || len(sc.bar) != 4 {
-		t.Fatalf("ensure sizes wrong: %d %d", len(sc.disk), len(sc.bar))
+	sc.ensure(5, 2, 4)
+	if len(sc.disk) != 10 || len(sc.bar) != 4 || len(sc.spanLo) != 5 ||
+		len(sc.spanN) != 5 || len(sc.dy2) != 2 || len(sc.nv) != 2 || len(sc.nv2) != 2 {
+		t.Fatalf("ensure sizes wrong: disk=%d bar=%d span=%d dy2=%d",
+			len(sc.disk), len(sc.bar), len(sc.spanLo), len(sc.dy2))
 	}
 	sc.disk[9] = 1
-	sc.ensure(5, 2)
-	if len(sc.disk) != 5 || len(sc.bar) != 2 {
-		t.Fatalf("shrink sizes wrong: %d %d", len(sc.disk), len(sc.bar))
+	sc.ensure(1, 5, 2)
+	if len(sc.disk) != 5 || len(sc.bar) != 2 || len(sc.spanN) != 1 || len(sc.nv2) != 5 {
+		t.Fatalf("shrink sizes wrong: disk=%d bar=%d span=%d", len(sc.disk), len(sc.bar), len(sc.spanN))
 	}
-	sc.ensure(100, 50)
-	if len(sc.disk) != 100 || len(sc.bar) != 50 {
-		t.Fatalf("grow sizes wrong: %d %d", len(sc.disk), len(sc.bar))
+	sc.ensure(10, 10, 50)
+	if len(sc.disk) != 100 || len(sc.bar) != 50 || len(sc.spanLo) != 10 || len(sc.dy2) != 10 {
+		t.Fatalf("grow sizes wrong: disk=%d bar=%d span=%d", len(sc.disk), len(sc.bar), len(sc.spanLo))
 	}
 }
 

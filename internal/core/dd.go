@@ -24,10 +24,12 @@ func runDD(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 	res.Stats.Decomp = [3]int{d.A, d.B, d.C}
 	res.Stats.Cells = d.Cells()
 
-	c := newCtx(pts, spec, opt)
-
-	// Bin phase: assign each point to every intersected subdomain.
+	// Bin phase: Morton pre-pass (so every cell's point list is in
+	// cache-adjacent order), then assign each point to every intersected
+	// subdomain.
 	t0 := time.Now()
+	pts, _ = sortedByMorton(pts, spec, opt)
+	c := newCtx(pts, spec, opt)
 	cells := make([][]int32, d.Cells())
 	var assignments int64
 	for i := range pts {
@@ -48,7 +50,7 @@ func runDD(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 
 	// Init phase: one shared grid; subdomains never overlap, so no races.
 	t0 = time.Now()
-	g, err := grid.NewGrid(spec, opt.Budget)
+	g, err := grid.NewGridP(spec, opt.Budget, opt.Threads)
 	if err != nil {
 		return nil, err
 	}

@@ -38,6 +38,12 @@ func runDR(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 	}
 	res.Phases.Init = time.Since(t0)
 
+	// Bin phase: the Morton pre-pass hands every worker a cache-coherent,
+	// spatially contiguous block of points.
+	var sortT time.Duration
+	pts, sortT = sortedByMorton(pts, spec, opt)
+	res.Phases.Bin = sortT
+
 	c := newCtx(pts, spec, opt)
 	bounds := spec.Bounds()
 	scratches := make([]*scratch, p)

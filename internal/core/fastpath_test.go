@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/kernel"
+)
+
+// engineModes enumerates every compute-engine implementation; all must
+// produce bitwise-identical densities for the same point order.
+var engineModes = []struct {
+	name string
+	mode EngineMode
+}{
+	{"auto", EngineAuto},
+	{"generic", EngineGeneric},
+	{"dense", EngineDense},
+}
+
+// polyKernelPairs are the kernel families covered by the specialization
+// hook (plus a mixed pairing).
+var polyKernelPairs = []struct {
+	name string
+	sk   kernel.Spatial
+	tk   kernel.Temporal
+}{
+	{"epanechnikov", kernel.Epanechnikov2D{}, kernel.Epanechnikov1D{}},
+	{"quartic", kernel.Quartic2D{}, kernel.Quartic1D{}},
+	{"triweight", kernel.Triweight2D{}, kernel.Triweight1D{}},
+	{"uniform", kernel.Uniform2D{}, kernel.Uniform1D{}},
+	{"mixed", kernel.Quartic2D{}, kernel.Triweight1D{}},
+}
+
+func assertBitwise(t *testing.T, label string, want, got *grid.Grid) {
+	t.Helper()
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("%s: voxel %d differs: %v vs %v (delta %g)",
+				label, i, want.Data[i], got.Data[i], want.Data[i]-got.Data[i])
+		}
+	}
+}
+
+// TestSpecializedEnginesBitwiseIdentical is the central fast-path property:
+// for every specializable kernel pair and every PB-family algorithm, the
+// devirtualized span engine, the interface-dispatch span engine and the
+// dense baseline produce bitwise-identical grids.
+func TestSpecializedEnginesBitwiseIdentical(t *testing.T) {
+	spec := testSpec(t, 22, 19, 15, 3.3, 2.6)
+	pts := testPoints(160, spec.Domain, 17)
+	for _, kp := range polyKernelPairs {
+		for _, alg := range []string{AlgPBSYM, AlgPBDISK, AlgPBBAR} {
+			var ref *grid.Grid
+			for _, em := range engineModes {
+				res, err := Estimate(alg, pts, spec, Options{
+					Threads: 1, Spatial: kp.sk, Temporal: kp.tk, Engine: em.mode,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", kp.name, alg, em.name, err)
+				}
+				if ref == nil {
+					ref = res.Grid
+					if ref.Sum() <= 0 {
+						t.Fatalf("%s/%s: empty reference grid", kp.name, alg)
+					}
+					continue
+				}
+				assertBitwise(t, kp.name+"/"+alg+"/"+em.name, ref, res.Grid)
+			}
+		}
+	}
+}
+
+// TestGenericKernelFallback: kernels without the specialization hook take
+// the generic span path and still match the dense baseline bitwise.
+func TestGenericKernelFallback(t *testing.T) {
+	spec := testSpec(t, 18, 18, 12, 3, 2.2)
+	pts := testPoints(120, spec.Domain, 23)
+	kernels := []struct {
+		sk kernel.Spatial
+		tk kernel.Temporal
+	}{
+		{kernel.Cone2D{}, kernel.Triangle1D{}},
+		{kernel.NewTruncGauss2D(1.0 / 3), kernel.NewTruncGauss1D(1.0 / 3)},
+	}
+	for _, kp := range kernels {
+		c := newCtx(pts, spec, Options{Spatial: kp.sk, Temporal: kp.tk}.withDefaults())
+		if c.skFast || c.tkFast {
+			t.Fatalf("%s/%s unexpectedly specialized", kp.sk.Name(), kp.tk.Name())
+		}
+		auto, err := Estimate(AlgPBSYM, pts, spec, Options{
+			Threads: 1, Spatial: kp.sk, Temporal: kp.tk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := Estimate(AlgPBSYM, pts, spec, Options{
+			Threads: 1, Spatial: kp.sk, Temporal: kp.tk, Engine: EngineDense,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitwise(t, kp.sk.Name(), dense.Grid, auto.Grid)
+	}
+}
+
+// TestSpanEdgeCases covers the geometric corner cases of span computation:
+// points on the grid border, bandwidths wider than the whole grid, and
+// adaptive scales above 1 that stretch the influence box past the bounds.
+func TestSpanEdgeCases(t *testing.T) {
+	t.Run("border-points", func(t *testing.T) {
+		spec := testSpec(t, 12, 10, 8, 3, 2)
+		pts := []grid.Point{
+			{X: 0, Y: 0, T: 0},
+			{X: 12, Y: 10, T: 8}, // exactly on the open upper bound
+			{X: 0, Y: 10, T: 4},
+			{X: 11.9999, Y: 0.0001, T: 7.9999},
+			{X: 0.0001, Y: 9.9999, T: 0.0001},
+		}
+		compareEnginesAndVB(t, pts, spec, Options{})
+	})
+	t.Run("bandwidth-wider-than-grid", func(t *testing.T) {
+		// hs spans 3x the domain: every influence box clips to the whole
+		// grid and every voxel is inside the disk.
+		spec := testSpec(t, 9, 8, 7, 27, 15)
+		pts := testPoints(40, spec.Domain, 31)
+		compareEnginesAndVB(t, pts, spec, Options{})
+	})
+	t.Run("adaptive-scale-above-1", func(t *testing.T) {
+		spec := testSpec(t, 16, 14, 10, 2.5, 2)
+		pts := testPoints(80, spec.Domain, 37)
+		opt := Options{AdaptiveBandwidth: func(p grid.Point) float64 {
+			if p.X > spec.Domain.X0+spec.Domain.GX/2 {
+				return 2.5 // influence boxes reach far outside the grid
+			}
+			return 0.8
+		}}
+		compareEnginesAndVB(t, pts, spec, opt)
+	})
+}
+
+// compareEnginesAndVB asserts all engines agree bitwise on PB-SYM and that
+// the result tracks the voxel-based gold standard.
+func compareEnginesAndVB(t *testing.T, pts []grid.Point, spec grid.Spec, opt Options) {
+	t.Helper()
+	opt.Threads = 1
+	ref, err := Estimate(AlgVB, pts, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *grid.Grid
+	for _, em := range engineModes {
+		o := opt
+		o.Engine = em.mode
+		res, err := Estimate(AlgPBSYM, pts, spec, o)
+		if err != nil {
+			t.Fatalf("%s: %v", em.name, err)
+		}
+		if first == nil {
+			first = res.Grid
+		} else {
+			assertBitwise(t, em.name, first, res.Grid)
+		}
+		if d := maxRelDiff(ref.Grid, res.Grid); d > 1e-11 {
+			t.Errorf("%s differs from VB by %g", em.name, d)
+		}
+	}
+}
+
+// TestEnginesBitwiseQuick drives the engine comparison with random single
+// points and bandwidths, the regime where span endpoints hit voxel centers
+// in unusual ways.
+func TestEnginesBitwiseQuick(t *testing.T) {
+	check := func(px, py, pt uint16, hsN, htN uint8) bool {
+		spec := testSpec(t, 13, 11, 9, 1+float64(hsN%6), 1+float64(htN%4))
+		p := grid.Point{
+			X: spec.Domain.GX * float64(px) / 65536,
+			Y: spec.Domain.GY * float64(py) / 65536,
+			T: spec.Domain.GT * float64(pt) / 65536,
+		}
+		var ref *grid.Grid
+		for _, em := range engineModes {
+			res, err := Estimate(AlgPBSYM, []grid.Point{p}, spec, Options{
+				Threads: 1, Engine: em.mode,
+			})
+			if err != nil {
+				return false
+			}
+			if ref == nil {
+				ref = res.Grid
+				continue
+			}
+			for i := range ref.Data {
+				if ref.Data[i] != res.Grid.Data[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSortedUnsortedAgree: the Morton pre-pass only reorders the summation,
+// so sorted and unsorted runs agree to fp tolerance (and the parallel
+// algorithms keep agreeing with VB either way).
+func TestSortedUnsortedAgree(t *testing.T) {
+	spec := testSpec(t, 24, 20, 14, 3, 2)
+	pts := testPoints(400, spec.Domain, 47)
+	for _, alg := range []string{AlgPBSYM, AlgPBSYMDR, AlgPBSYMDD, AlgPBSYMPDSCHED} {
+		sorted, err := Estimate(alg, pts, spec, Options{Threads: 4, Decomp: [3]int{3, 3, 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unsorted, err := Estimate(alg, pts, spec, Options{
+			Threads: 4, Decomp: [3]int{3, 3, 3}, NoSort: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxRelDiff(sorted.Grid, unsorted.Grid); d > 1e-12 {
+			t.Errorf("%s: sorted vs unsorted differ by %g", alg, d)
+		}
+	}
+}
+
+// TestMortonOrderIsDeterministicPerEngine: the sort must not break
+// sequential determinism (ties keep input order).
+func TestMortonOrderIsDeterministicPerEngine(t *testing.T) {
+	spec := testSpec(t, 16, 14, 10, 3, 2)
+	// Duplicate coordinates exercise tie-breaking.
+	pts := append(testPoints(100, spec.Domain, 3), testPoints(100, spec.Domain, 3)...)
+	a, err := Estimate(AlgPBSYM, pts, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(AlgPBSYM, pts, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitwise(t, "repeat-run", a.Grid, b.Grid)
+}

@@ -106,9 +106,10 @@ func AnalyzePD(pts []grid.Point, spec grid.Spec, opt Options, loadAware bool) (S
 // concurrently processed points have overlapping cylinders.
 func runPD(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 	res := &Result{}
+	pts, sortT := sortedByMorton(pts, spec, opt)
 	c := newCtx(pts, spec, opt)
 	s := newPDSetup(pts, spec, opt, &c)
-	res.Phases.Bin = s.binT
+	res.Phases.Bin = sortT + s.binT
 
 	// Plan phase: the parity coloring and its implied dependency DAG
 	// (used only for reporting; execution uses barriers between colors).
@@ -125,7 +126,7 @@ func runPD(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 	res.Phases.Plan = time.Since(t0)
 
 	t0 = time.Now()
-	g, err := grid.NewGrid(spec, opt.Budget)
+	g, err := grid.NewGridP(spec, opt.Budget, opt.Threads)
 	if err != nil {
 		return nil, err
 	}
@@ -180,9 +181,10 @@ func runPDSchedRep(pts []grid.Point, spec grid.Spec, opt Options) (*Result, erro
 
 func runPDGraph(pts []grid.Point, spec grid.Spec, opt Options, loadAware, replicate bool) (*Result, error) {
 	res := &Result{}
+	pts, sortT := sortedByMorton(pts, spec, opt)
 	c := newCtx(pts, spec, opt)
 	s := newPDSetup(pts, spec, opt, &c)
-	res.Phases.Bin = s.binT
+	res.Phases.Bin = sortT + s.binT
 	p := opt.Threads
 	bounds := spec.Bounds()
 
@@ -235,7 +237,7 @@ func runPDGraph(pts []grid.Point, spec grid.Spec, opt Options, loadAware, replic
 
 	// Init phase: the shared output grid plus any replication buffers.
 	t0 = time.Now()
-	g, err := grid.NewGrid(spec, opt.Budget)
+	g, err := grid.NewGridP(spec, opt.Budget, opt.Threads)
 	if err != nil {
 		return nil, err
 	}

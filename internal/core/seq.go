@@ -12,7 +12,7 @@ import (
 func runVB(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 	res := &Result{}
 	t0 := time.Now()
-	g, err := grid.NewGrid(spec, opt.Budget)
+	g, err := grid.NewGridP(spec, opt.Budget, opt.Threads)
 	if err != nil {
 		return nil, err
 	}
@@ -65,21 +65,23 @@ func runVB(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 func runVBDEC(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 	res := &Result{}
 	t0 := time.Now()
-	g, err := grid.NewGrid(spec, opt.Budget)
+	g, err := grid.NewGridP(spec, opt.Budget, opt.Threads)
 	if err != nil {
 		return nil, err
 	}
 	res.Grid = g
 	res.Phases.Init = time.Since(t0)
 
+	// Bin phase: the Morton pre-pass first, so every block's candidate list
+	// enumerates points in cache-adjacent order, then assign points to
+	// bandwidth-sized blocks of voxels.
+	t0 = time.Now()
+	pts, _ = sortedByMorton(pts, spec, opt)
 	c := newCtx(pts, spec, opt)
 	geoms := make([]geom, len(pts))
 	for i, p := range pts {
 		geoms[i] = c.geom(p)
 	}
-
-	// Bin points into bandwidth-sized blocks of voxels.
-	t0 = time.Now()
 	bsXY := max(c.maxHsVoxels(), 1)
 	bsT := max(c.maxHtVoxels(), 1)
 	nbx := (spec.Gx + bsXY - 1) / bsXY
@@ -89,7 +91,8 @@ func runVBDEC(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 	binID := func(bx, by, bt int) int { return (bx*nby+by)*nbt + bt }
 	for i, p := range pts {
 		X, Y, T := spec.VoxelOf(p)
-		bins[binID(X/bsXY, Y/bsXY, T/bsT)] = append(bins[binID(X/bsXY, Y/bsXY, T/bsT)], int32(i))
+		id := binID(X/bsXY, Y/bsXY, T/bsT)
+		bins[id] = append(bins[id], int32(i))
 	}
 	res.Phases.Bin = time.Since(t0)
 
@@ -166,12 +169,16 @@ func runVBDEC(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 func runPointBased(apply applyFn, pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 	res := &Result{}
 	t0 := time.Now()
-	g, err := grid.NewGrid(spec, opt.Budget)
+	g, err := grid.NewGridP(spec, opt.Budget, opt.Threads)
 	if err != nil {
 		return nil, err
 	}
 	res.Grid = g
 	res.Phases.Init = time.Since(t0)
+
+	var sortT time.Duration
+	pts, sortT = sortedByMorton(pts, spec, opt)
+	res.Phases.Bin = sortT
 
 	c := newCtx(pts, spec, opt)
 	sc := newScratch(&c)

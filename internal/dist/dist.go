@@ -139,10 +139,23 @@ func Estimate(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 	if lopt.Threads < 1 {
 		lopt.Threads = 1
 	}
+	// The Morton locality pre-pass must use the ROOT spec's frame here: a
+	// rank's sub-spec shifts T by the slab offset, which would interleave
+	// different key bits and reorder per-voxel summation relative to the
+	// single-process run, breaking the bitwise contract. Each rank's list
+	// is in input order (see the partition step), so a stable sort by the
+	// root key restricts the global sorted order exactly; the local runs
+	// then skip their own sort.
+	sortLocal := !lopt.NoSort
+	lopt.NoSort = true
 	results := make([]*core.Result, r)
 	errs := make([]error, r)
 	par.For(r, r, func(i int) {
-		results[i], errs[i] = core.Estimate(alg, local[i], slabs[i].Spec, lopt)
+		lpts := local[i]
+		if sortLocal {
+			lpts = grid.SortByMorton(lpts, spec)
+		}
+		results[i], errs[i] = core.Estimate(alg, lpts, slabs[i].Spec, lopt)
 	})
 	release := func() {
 		for _, res := range results {

@@ -271,3 +271,36 @@ func TestEmptyPointSet(t *testing.T) {
 		t.Errorf("Imbalance = %g, want 1", res.Stats.Imbalance)
 	}
 }
+
+// TestDistributedBitwiseWithMortonSort pins the strong form of the
+// exactness contract under the Morton locality pre-pass: because ranks
+// sort their subsets by the ROOT spec's key (not the sub-spec frame), the
+// merged R-rank volume with the default sequential PB-SYM is bitwise equal
+// to the single-process run, sorted or not.
+func TestDistributedBitwiseWithMortonSort(t *testing.T) {
+	spec := testSpec(t, 45, 1)
+	pts := testPoints(2500, spec.Domain, 29)
+	for _, nosort := range []bool{false, true} {
+		ref, err := core.Estimate(core.AlgPBSYM, pts, spec,
+			core.Options{Threads: 1, NoSort: nosort})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range []int{2, 4, 7} {
+			res, err := Estimate(pts, spec, Options{
+				Ranks: r, Local: core.Options{NoSort: nosort},
+			})
+			if err != nil {
+				t.Fatalf("ranks=%d nosort=%t: %v", r, nosort, err)
+			}
+			for i := range ref.Grid.Data {
+				if ref.Grid.Data[i] != res.Grid.Data[i] {
+					t.Fatalf("ranks=%d nosort=%t: voxel %d differs bitwise: %v vs %v",
+						r, nosort, i, ref.Grid.Data[i], res.Grid.Data[i])
+				}
+			}
+			res.Grid.Release()
+		}
+		ref.Grid.Release()
+	}
+}

@@ -12,6 +12,8 @@ package grid
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/par"
 )
 
 // Point is an event localized in two spatial dimensions and time, in domain
@@ -171,14 +173,34 @@ type Grid struct {
 // initialization phase would silently migrate into the compute phase,
 // hiding the init-bound behaviour of sparse instances (Figure 7).
 func NewGrid(s Spec, b *Budget) (*Grid, error) {
+	return NewGridP(s, b, 1)
+}
+
+// minTouchBlock is the smallest number of voxels worth handing to a
+// first-touch worker; below it goroutine startup dominates the page faults.
+const minTouchBlock = 1 << 16
+
+// NewGridP is NewGrid with the first touch parallelized over up to p
+// workers (the paper's initialization phase is bandwidth-bound, so it
+// scales with cores). p < 1 means GOMAXPROCS; small grids fall back to a
+// serial touch.
+func NewGridP(s Spec, b *Budget, p int) (*Grid, error) {
 	if err := b.Alloc(s.Bytes()); err != nil {
 		return nil, err
 	}
 	data := make([]float64, s.Voxels())
-	for i := range data {
-		data[i] = 0
-	}
+	zeroPar(data, p)
 	return &Grid{Spec: s, Data: data, budget: b}, nil
+}
+
+// zeroPar writes every element of data with up to p workers.
+func zeroPar(data []float64, p int) {
+	par.BlocksMin(p, len(data), minTouchBlock, func(_, lo, hi int) {
+		chunk := data[lo:hi]
+		for i := range chunk {
+			chunk[i] = 0
+		}
+	})
 }
 
 // Release returns the grid's memory charge to its budget. The grid must not
@@ -232,8 +254,4 @@ func (g *Grid) Max() (v float64, X, Y, T int) {
 }
 
 // Zero resets every voxel to zero.
-func (g *Grid) Zero() {
-	for i := range g.Data {
-		g.Data[i] = 0
-	}
-}
+func (g *Grid) Zero() { zeroPar(g.Data, 1) }

@@ -1,0 +1,95 @@
+package grid
+
+// Morton (Z-order) linearization of voxel coordinates. Sorting events by the
+// Morton index of their home voxel makes consecutive points spatially and
+// temporally adjacent, so the grid rows their bandwidth cylinders touch stay
+// hot in cache across points. Every point-based estimator runs this pre-pass
+// (under its Bin phase) before streaming cylinders into the grid.
+
+// part1by2 spreads the low 21 bits of v so that bit i lands at bit 3i,
+// leaving two zero bits between consecutive bits of v.
+func part1by2(v uint64) uint64 {
+	v &= 0x1fffff // 21 bits: supports grids up to 2^21 voxels per axis
+	v = (v | v<<32) & 0x1f00000000ffff
+	v = (v | v<<16) & 0x1f0000ff0000ff
+	v = (v | v<<8) & 0x100f00f00f00f00f
+	v = (v | v<<4) & 0x10c30c30c30c30c3
+	v = (v | v<<2) & 0x1249249249249249
+	return v
+}
+
+// Morton3 interleaves the low 21 bits of the three voxel coordinates into a
+// single Z-order index. Coordinates are clamped at zero (sub-spec frames can
+// produce negative T before clipping).
+func Morton3(x, y, z int) uint64 {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if z < 0 {
+		z = 0
+	}
+	return part1by2(uint64(x)) | part1by2(uint64(y))<<1 | part1by2(uint64(z))<<2
+}
+
+// keyed pairs a Morton key with the point's original index.
+type keyed struct {
+	key uint64
+	idx int32
+}
+
+// SortByMorton returns a copy of pts ordered by the Morton index of each
+// point's home voxel under s. The sort is a stable LSD radix sort, so
+// points sharing a voxel keep their original input order and the pass is
+// deterministic and O(n). The input slice is never mutated.
+func SortByMorton(pts []Point, s Spec) []Point {
+	keys := make([]keyed, len(pts))
+	for i, p := range pts {
+		X, Y, T := s.VoxelOf(p)
+		keys[i] = keyed{key: Morton3(X, Y, T), idx: int32(i)}
+	}
+	keys = radixSortKeyed(keys)
+	out := make([]Point, len(pts))
+	for i, k := range keys {
+		out[i] = pts[k.idx]
+	}
+	return out
+}
+
+// radixSortKeyed sorts by key with a byte-wise LSD radix sort, skipping
+// passes whose byte is constant across all keys (for realistic grids only
+// 3-4 of the 8 passes do work). Stability makes ties keep input order.
+func radixSortKeyed(a []keyed) []keyed {
+	if len(a) < 2 {
+		return a
+	}
+	tmp := make([]keyed, len(a))
+	var count [256]int
+	for shift := 0; shift < 64; shift += 8 {
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range a {
+			count[byte(k.key>>shift)]++
+		}
+		// A pass whose byte is constant would be an identity permutation.
+		if count[byte(a[0].key>>shift)] == len(a) {
+			continue
+		}
+		sum := 0
+		for i := 0; i < 256; i++ {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for _, k := range a {
+			b := byte(k.key >> shift)
+			tmp[count[b]] = k
+			count[b]++
+		}
+		a, tmp = tmp, a
+	}
+	return a
+}

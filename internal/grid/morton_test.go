@@ -1,0 +1,129 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMorton3Interleaving(t *testing.T) {
+	cases := []struct {
+		x, y, z int
+		want    uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 0, 0, 1},
+		{0, 1, 0, 2},
+		{0, 0, 1, 4},
+		{1, 1, 1, 7},
+		{2, 0, 0, 8},
+		{3, 3, 3, 63},
+		{-5, -1, 0, 0}, // negative coordinates clamp to zero
+	}
+	for _, c := range cases {
+		if got := Morton3(c.x, c.y, c.z); got != c.want {
+			t.Errorf("Morton3(%d,%d,%d) = %d, want %d", c.x, c.y, c.z, got, c.want)
+		}
+	}
+	// Monotone along each axis at the origin.
+	prev := uint64(0)
+	for x := 1; x < 100; x++ {
+		m := Morton3(x, 0, 0)
+		if m <= prev {
+			t.Fatalf("Morton3 not monotone along x at %d", x)
+		}
+		prev = m
+	}
+}
+
+func TestMorton3LargeCoordinates(t *testing.T) {
+	// 21-bit coordinates must not collide between axes.
+	max := 1<<21 - 1
+	a := Morton3(max, 0, 0)
+	b := Morton3(0, max, 0)
+	c := Morton3(0, 0, max)
+	if a == b || b == c || a == c {
+		t.Fatal("axis collisions at 21-bit extent")
+	}
+	if a|b|c != Morton3(max, max, max) {
+		t.Fatal("interleaved bits do not combine")
+	}
+}
+
+func TestSortByMortonPermutation(t *testing.T) {
+	spec, err := NewSpec(Domain{GX: 40, GY: 30, GT: 20}, 1, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 500)
+	for i := range pts {
+		pts[i] = Point{
+			X: rng.Float64() * spec.Domain.GX,
+			Y: rng.Float64() * spec.Domain.GY,
+			T: rng.Float64() * spec.Domain.GT,
+		}
+	}
+	orig := append([]Point(nil), pts...)
+	sorted := SortByMorton(pts, spec)
+	// Input untouched.
+	for i := range pts {
+		if pts[i] != orig[i] {
+			t.Fatal("SortByMorton mutated its input")
+		}
+	}
+	// Output is a permutation (multiset equality via counting).
+	seen := map[Point]int{}
+	for _, p := range pts {
+		seen[p]++
+	}
+	for _, p := range sorted {
+		seen[p]--
+	}
+	for p, c := range seen {
+		if c != 0 {
+			t.Fatalf("point %v count off by %d after sort", p, c)
+		}
+	}
+	// Keys are non-decreasing.
+	for i := 1; i < len(sorted); i++ {
+		ka := mortonKey(sorted[i-1], spec)
+		kb := mortonKey(sorted[i], spec)
+		if ka > kb {
+			t.Fatalf("Morton keys out of order at %d: %d > %d", i, ka, kb)
+		}
+	}
+	// Deterministic.
+	again := SortByMorton(pts, spec)
+	for i := range sorted {
+		if sorted[i] != again[i] {
+			t.Fatal("SortByMorton is not deterministic")
+		}
+	}
+}
+
+func mortonKey(p Point, s Spec) uint64 {
+	X, Y, T := s.VoxelOf(p)
+	return Morton3(X, Y, T)
+}
+
+func TestNewGridPZeroed(t *testing.T) {
+	spec, err := NewSpec(Domain{GX: 64, GY: 64, GT: 40}, 1, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGridP(spec, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range g.Data {
+		if v != 0 {
+			t.Fatalf("voxel %d not zeroed: %g", i, v)
+		}
+	}
+	g.Data[0] = 3
+	g.Data[len(g.Data)-1] = 4
+	g.Zero()
+	if g.Data[0] != 0 || g.Data[len(g.Data)-1] != 0 {
+		t.Fatal("Zero did not reset the grid")
+	}
+}

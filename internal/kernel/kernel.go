@@ -37,6 +37,56 @@ type Temporal interface {
 	Name() string
 }
 
+// PolySpatial is the specialization hook for spatial kernels of the
+// polynomial family
+//
+//	ks(u, v) = c * (1 - (u^2 + v^2))^deg   for u^2+v^2 < 1
+//
+// which covers the uniform (deg 0), Epanechnikov (deg 1), quartic (deg 2)
+// and triweight (deg 3) kernels. Estimators that recognize the hook compile
+// the kernel into a monomorphic, inlinable fill loop with no interface
+// dispatch; kernels without the hook transparently use the generic path.
+// User-supplied kernels may implement it to opt in, provided Eval computes
+// exactly c*(1-r2)^deg as the left-associated product c*d*d*...*d with
+// d = 1-r2 (so the fast path stays bitwise identical to Eval).
+type PolySpatial interface {
+	Spatial
+	// SpatialPoly returns the coefficient c and degree deg (0 <= deg <= 3).
+	SpatialPoly() (c float64, deg int)
+}
+
+// PolyTemporal is the temporal analogue of PolySpatial:
+// kt(w) = c * (1 - w^2)^deg for |w| < 1.
+type PolyTemporal interface {
+	Temporal
+	// TemporalPoly returns the coefficient c and degree deg (0 <= deg <= 3).
+	TemporalPoly() (c float64, deg int)
+}
+
+// SpecializeSpatial reports the polynomial form of k when it implements the
+// PolySpatial hook and its degree is supported by the fast paths.
+func SpecializeSpatial(k Spatial) (c float64, deg int, ok bool) {
+	if p, is := k.(PolySpatial); is {
+		c, deg = p.SpatialPoly()
+		if deg >= 0 && deg <= 3 {
+			return c, deg, true
+		}
+	}
+	return 0, 0, false
+}
+
+// SpecializeTemporal reports the polynomial form of k when it implements the
+// PolyTemporal hook and its degree is supported by the fast paths.
+func SpecializeTemporal(k Temporal) (c float64, deg int, ok bool) {
+	if p, is := k.(PolyTemporal); is {
+		c, deg = p.TemporalPoly()
+		if deg >= 0 && deg <= 3 {
+			return c, deg, true
+		}
+	}
+	return 0, 0, false
+}
+
 // Epanechnikov2D is the paper's spatial kernel: (2/pi)(1 - u^2 - v^2) on
 // the unit disk.
 type Epanechnikov2D struct{}
@@ -53,6 +103,9 @@ func (Epanechnikov2D) Eval(u, v float64) float64 {
 // Name implements Spatial.
 func (Epanechnikov2D) Name() string { return "epanechnikov2d" }
 
+// SpatialPoly implements the PolySpatial specialization hook.
+func (Epanechnikov2D) SpatialPoly() (float64, int) { return 2 / math.Pi, 1 }
+
 // Epanechnikov1D is the paper's temporal kernel: (3/4)(1 - w^2) on [-1, 1].
 type Epanechnikov1D struct{}
 
@@ -66,6 +119,9 @@ func (Epanechnikov1D) Eval(w float64) float64 {
 
 // Name implements Temporal.
 func (Epanechnikov1D) Name() string { return "epanechnikov1d" }
+
+// TemporalPoly implements the PolyTemporal specialization hook.
+func (Epanechnikov1D) TemporalPoly() (float64, int) { return 0.75, 1 }
 
 // Quartic2D is the biweight spatial kernel (3/pi)(1 - r^2)^2, common in the
 // GIS literature (Nakaya & Yano use it for crime STKDE).
@@ -84,6 +140,9 @@ func (Quartic2D) Eval(u, v float64) float64 {
 // Name implements Spatial.
 func (Quartic2D) Name() string { return "quartic2d" }
 
+// SpatialPoly implements the PolySpatial specialization hook.
+func (Quartic2D) SpatialPoly() (float64, int) { return 3 / math.Pi, 2 }
+
 // Quartic1D is the biweight temporal kernel (15/16)(1 - w^2)^2.
 type Quartic1D struct{}
 
@@ -98,6 +157,9 @@ func (Quartic1D) Eval(w float64) float64 {
 
 // Name implements Temporal.
 func (Quartic1D) Name() string { return "quartic1d" }
+
+// TemporalPoly implements the PolyTemporal specialization hook.
+func (Quartic1D) TemporalPoly() (float64, int) { return 15.0 / 16.0, 2 }
 
 // Triweight2D is the spatial kernel (4/pi)(1 - r^2)^3.
 type Triweight2D struct{}
@@ -115,6 +177,9 @@ func (Triweight2D) Eval(u, v float64) float64 {
 // Name implements Spatial.
 func (Triweight2D) Name() string { return "triweight2d" }
 
+// SpatialPoly implements the PolySpatial specialization hook.
+func (Triweight2D) SpatialPoly() (float64, int) { return 4 / math.Pi, 3 }
+
 // Triweight1D is the temporal kernel (35/32)(1 - w^2)^3.
 type Triweight1D struct{}
 
@@ -130,6 +195,9 @@ func (Triweight1D) Eval(w float64) float64 {
 // Name implements Temporal.
 func (Triweight1D) Name() string { return "triweight1d" }
 
+// TemporalPoly implements the PolyTemporal specialization hook.
+func (Triweight1D) TemporalPoly() (float64, int) { return 35.0 / 32.0, 3 }
+
 // Uniform2D is the flat disk kernel 1/pi.
 type Uniform2D struct{}
 
@@ -144,6 +212,9 @@ func (Uniform2D) Eval(u, v float64) float64 {
 // Name implements Spatial.
 func (Uniform2D) Name() string { return "uniform2d" }
 
+// SpatialPoly implements the PolySpatial specialization hook.
+func (Uniform2D) SpatialPoly() (float64, int) { return 1 / math.Pi, 0 }
+
 // Uniform1D is the flat interval kernel 1/2.
 type Uniform1D struct{}
 
@@ -157,6 +228,9 @@ func (Uniform1D) Eval(w float64) float64 {
 
 // Name implements Temporal.
 func (Uniform1D) Name() string { return "uniform1d" }
+
+// TemporalPoly implements the PolyTemporal specialization hook.
+func (Uniform1D) TemporalPoly() (float64, int) { return 0.5, 0 }
 
 // Cone2D is the linear decay kernel (3/pi)(1 - r).
 type Cone2D struct{}

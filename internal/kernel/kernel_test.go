@@ -145,6 +145,86 @@ func TestDecayMonotonic(t *testing.T) {
 	}
 }
 
+// polyEval reproduces the fast-path evaluation contract: the left-associated
+// product c*d*d*...*d with d = 1-x (x = r^2 or w^2), zero outside support.
+func polyEval(c float64, deg int, x float64) float64 {
+	if x >= 1 {
+		return 0
+	}
+	d := 1 - x
+	switch deg {
+	case 0:
+		return c
+	case 1:
+		return c * d
+	case 2:
+		return c * d * d
+	default:
+		return c * d * d * d
+	}
+}
+
+// TestPolySpecializationBitwise: for every kernel advertising the PolySpatial
+// or PolyTemporal hook, the polynomial form must be bitwise identical to
+// Eval — the property the devirtualized fill loops rely on.
+func TestPolySpecializationBitwise(t *testing.T) {
+	check := func(a, b uint16) bool {
+		u := -1.5 + 3*float64(a)/65536
+		v := -1.5 + 3*float64(b)/65536
+		for _, k := range allSpatial() {
+			c, deg, ok := SpecializeSpatial(k)
+			if !ok {
+				continue
+			}
+			if got, want := polyEval(c, deg, u*u+v*v), k.Eval(u, v); got != want {
+				t.Logf("%s: poly(%g,%g)=%g Eval=%g", k.Name(), u, v, got, want)
+				return false
+			}
+		}
+		for _, k := range allTemporal() {
+			c, deg, ok := SpecializeTemporal(k)
+			if !ok {
+				continue
+			}
+			if got, want := polyEval(c, deg, u*u), k.Eval(u); got != want {
+				t.Logf("%s: poly(%g)=%g Eval=%g", k.Name(), u, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpecializeCoverage pins which kernels opt into the fast path: the four
+// polynomial families do, the non-polynomial kernels do not.
+func TestSpecializeCoverage(t *testing.T) {
+	wantSpatial := map[string]int{
+		"uniform2d": 0, "epanechnikov2d": 1, "quartic2d": 2, "triweight2d": 3,
+	}
+	for _, k := range allSpatial() {
+		_, deg, ok := SpecializeSpatial(k)
+		wdeg, want := wantSpatial[k.Name()]
+		if ok != want || (ok && deg != wdeg) {
+			t.Errorf("SpecializeSpatial(%s) = (deg=%d, ok=%t), want (deg=%d, ok=%t)",
+				k.Name(), deg, ok, wdeg, want)
+		}
+	}
+	wantTemporal := map[string]int{
+		"uniform1d": 0, "epanechnikov1d": 1, "quartic1d": 2, "triweight1d": 3,
+	}
+	for _, k := range allTemporal() {
+		_, deg, ok := SpecializeTemporal(k)
+		wdeg, want := wantTemporal[k.Name()]
+		if ok != want || (ok && deg != wdeg) {
+			t.Errorf("SpecializeTemporal(%s) = (deg=%d, ok=%t), want (deg=%d, ok=%t)",
+				k.Name(), deg, ok, wdeg, want)
+		}
+	}
+}
+
 func TestByNameRoundTrip(t *testing.T) {
 	for _, k := range allSpatial() {
 		got := SpatialByName(k.Name())

@@ -51,6 +51,21 @@ func Blocks(p, n int, body func(worker, lo, hi int)) {
 	wg.Wait()
 }
 
+// BlocksMin is Blocks with a minimum block size: the worker count is capped
+// so every block spans at least min elements. It is the right choice for
+// cheap streaming bodies (zeroing, summing) where spawning a goroutine per
+// tiny block would cost more than the work itself.
+func BlocksMin(p, n, min int, body func(worker, lo, hi int)) {
+	p = Threads(p)
+	if min > 0 && p > n/min {
+		p = n / min
+		if p < 1 {
+			p = 1
+		}
+	}
+	Blocks(p, n, body)
+}
+
 // For runs body(i) for every i in [0, n) using a static block schedule over
 // p workers.
 func For(p, n int, body func(i int)) {

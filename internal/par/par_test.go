@@ -270,3 +270,35 @@ func TestGraphManyTasks(t *testing.T) {
 		t.Fatalf("ran %d of %d tasks", ran.Load(), n)
 	}
 }
+
+func TestBlocksMin(t *testing.T) {
+	// With min=10 over n=25, at most 2 workers may run; coverage must be
+	// complete and disjoint.
+	var mu sync.Mutex
+	seen := make([]int, 25)
+	workers := map[int]bool{}
+	BlocksMin(8, 25, 10, func(w, lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		workers[w] = true
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("element %d covered %d times", i, c)
+		}
+	}
+	if len(workers) > 2 {
+		t.Errorf("min block size not honored: %d workers", len(workers))
+	}
+	// n below min runs serially.
+	calls := 0
+	BlocksMin(8, 5, 100, func(w, lo, hi int) { calls++ })
+	if calls != 1 {
+		t.Errorf("expected single serial block, got %d", calls)
+	}
+	// Zero n is a no-op.
+	BlocksMin(4, 0, 10, func(w, lo, hi int) { t.Error("body called for n=0") })
+}
