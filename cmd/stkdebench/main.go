@@ -8,6 +8,14 @@
 //	stkdebench -exp fig10 -scale 0.15 -maxthreads 16 -instances Dengue_Hr-VHb,PollenUS_Hr-Mb
 //	stkdebench -exp all -scale 0.1 -csv results
 //	stkdebench -exp kernels -scale 0.1 -repeats 3 -json BENCH
+//	stkdebench -experiment stream -scale 0.1 -repeats 3 -json BENCH
+//
+// The "stream" experiment measures the streaming update path: the
+// per-event cost and sustained events/sec of folding single events into a
+// live core.Updater window, the cost of a one-layer window advance, and
+// the speedup over the full batch recompute each ingest replaces. With
+// -json it emits the stkde-bench/v1 trajectory committed as
+// BENCH_stream.json. (-experiment is an alias for -exp.)
 package main
 
 import (
@@ -29,7 +37,7 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "", "experiment id or \"all\": "+strings.Join(bench.Experiments(), ", "))
+		exp        = flag.String("exp", "", "experiment id or \"all\": "+strings.Join(bench.Experiments(), ", ")+" (stream reports events/sec and the speedup of incremental ingest vs full recompute)")
 		scale      = flag.Float64("scale", 0.15, "instance scale in (0,1]")
 		threads    = flag.String("threads", "", "thread sweep for fig8, e.g. 1,2,4,8,16")
 		maxThreads = flag.Int("maxthreads", 0, "P for per-decomposition experiments (0 = min(16, cores))")
@@ -43,6 +51,7 @@ func run() error {
 		jsonPrefix = flag.String("json", "", "also write <prefix>_<exp>.json (the BENCH_*.json trajectory format)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
+	flag.StringVar(exp, "experiment", "", "alias for -exp")
 	flag.Parse()
 
 	if *list {

@@ -12,13 +12,23 @@
 //
 //	POST /v1/datasets    ingest a CSV body (x,y,t); returns the dataset id
 //	GET  /v1/datasets    list registered datasets
+//	POST /v1/streams     create a live stream dataset (JSON window spec)
+//	GET  /v1/streams     list live streams and their window positions
+//	POST /v1/datasets/{id}/events   append CSV events to a stream; the
+//	                     window grid is updated in place (no recompute)
+//	POST /v1/datasets/{id}/advance  slide a stream's window to {"t": ...},
+//	                     expiring events the window leaves behind
+//	DELETE /v1/datasets/{id}        delete a stream, releasing its pinned
+//	                     window grid and every derived cache
 //	POST /v1/estimate    start/join an estimation job; poll /v1/jobs/{id}
 //	GET  /v1/jobs/{id}   job status, timings, peak and mass when done
-//	GET  /v1/query       density at (x,y,t): cached voxel or exact fallback
+//	GET  /v1/query       density at (x,y,t): live stream window, cached
+//	                     voxel, or exact fallback
 //	GET  /v1/region      probability mass of a voxel box
 //	GET  /v1/hotspots    top-k densest voxels
-//	GET  /healthz        liveness and cache occupancy
-//	GET  /debug/vars     expvar metrics (cache hits/misses, latency p50/p99)
+//	GET  /healthz        liveness, stream count and cache occupancy
+//	GET  /debug/vars     expvar metrics (cache hits/misses, stream
+//	                     ingest/advance counters, latency p50/p99)
 //
 // SIGINT/SIGTERM drain the HTTP listener and in-flight estimations before
 // exiting.

@@ -34,4 +34,17 @@
 // queries, region mass and top-k hotspots. It is exposed as
 // stkde.NewDensityServer, the cmd/stkded daemon, and the "serve"
 // experiment of cmd/stkdebench.
+//
+// Estimation is also available as a streaming process: core.Updater (the
+// public stkde.Stream) owns a sliding temporal window of density stored in
+// a ring-buffer grid (grid.Ring, built on the Spec.OT frame-offset
+// machinery), folds events in and retracts them through the engine's
+// signed-weight contribution primitive, advances the window by rotating
+// the ring and zeroing only the freed layers, and bounds floating-point
+// cancellation drift with a running residual estimate plus periodic
+// compaction. The serving subsystem exposes it as mutable stream datasets
+// (POST /v1/streams, /v1/datasets/{id}/events, /v1/datasets/{id}/advance)
+// whose grids are updated in place, and the "stream" experiment of
+// cmd/stkdebench records the ingest-vs-recompute trajectory in
+// BENCH_stream.json.
 package repro

@@ -19,6 +19,9 @@
 //	kernels hot-path compute-engine trajectory: sequential PB-SYM compute
 //	        under the dense/generic/devirtualized engines, sorted and
 //	        unsorted (the committed BENCH_kernels.json record)
+//	stream  streaming-update trajectory: sustained single-event ingest
+//	        through core.Updater vs the full recompute it replaces
+//	        (the committed BENCH_stream.json record)
 //
 // Absolute times differ from the paper's 2x8-core Xeon; the harness aims to
 // reproduce the qualitative shape: which algorithm wins where, the rough
@@ -141,10 +144,12 @@ type Report struct {
 
 // Experiments lists the available experiment identifiers in paper order,
 // followed by the post-paper experiments (distributed scaling, serving,
-// and the hot-path compute-engine trajectory).
+// the hot-path compute-engine trajectory, and the streaming-update
+// trajectory).
 func Experiments() []string {
 	return []string{"table2", "table3", "fig7", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "dist", "serve", "kernels"}
+		"fig11", "fig12", "fig13", "fig14", "fig15", "dist", "serve",
+		"kernels", "stream"}
 }
 
 // Run executes the named experiment.
@@ -180,6 +185,8 @@ func Run(exp string, cfg Config) (*Report, error) {
 		return h.serveExp()
 	case "kernels":
 		return h.kernelsExp()
+	case "stream":
+		return h.streamExp()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)",
 		exp, strings.Join(Experiments(), ", "))

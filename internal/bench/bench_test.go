@@ -23,8 +23,8 @@ func quickCfg(out *bytes.Buffer) Config {
 }
 
 func TestExperimentsList(t *testing.T) {
-	if len(Experiments()) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(Experiments()))
 	}
 	var out bytes.Buffer
 	for _, exp := range Experiments() {
@@ -57,6 +57,35 @@ func TestUnknownInstance(t *testing.T) {
 	cfg := Config{Instances: []string{"NotAnInstance"}}
 	if _, err := Run("fig7", cfg); err == nil {
 		t.Fatal("expected error for unknown instance")
+	}
+}
+
+func TestStreamExperimentShape(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := Run("stream", quickCfg(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Seconds <= 0 {
+			t.Errorf("%s: non-positive per-event cost %g", r.Instance, r.Seconds)
+		}
+		// A single-event ingest must beat the full recompute it replaces
+		// (the committed BENCH_stream.json asserts >= 10x at real scale).
+		if r.Speedup <= 1 {
+			t.Errorf("%s: incremental ingest slower than recompute: %+v", r.Instance, r)
+		}
+		for _, key := range []string{"events_per_sec", "advance_s", "recompute_s", "ingested"} {
+			if _, ok := r.Extra[key]; !ok {
+				t.Errorf("%s: missing extra %q", r.Instance, key)
+			}
+		}
+	}
+	if !strings.Contains(out.String(), "Streaming") {
+		t.Error("missing table banner")
 	}
 }
 

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// streamExp measures the streaming update path: sustained single-event
+// ingest through core.Updater against the cost of the full batch
+// re-estimate the ingest replaces. For every instance it reports
+//
+//	add(µs/ev)    incremental cost of folding one event into the live
+//	              window (best of Repeats passes over the holdout set)
+//	events/s      the sustained single-event ingest rate that implies
+//	advance(ms)   cost of sliding the window by one voxel layer (ring
+//	              rotation + zeroing the freed layer + re-applying the
+//	              events that reach it)
+//	recompute(s)  the full batch PB-SYM estimate of the same instance —
+//	              what a non-incremental server would redo per ingest
+//	speedup       recompute / per-event add: how much cheaper one ingest
+//	              is than the recompute it replaces
+//
+// The committed BENCH_stream.json records this trajectory.
+func (h *harness) streamExp() (*Report, error) {
+	rep := &Report{Exp: "stream",
+		Title: "Streaming: single-event ingest vs full recompute"}
+	insts, err := h.instances()
+	if err != nil {
+		return nil, err
+	}
+	tw := newTable(h.cfg.Out, "Instance", "n", "add(µs/ev)", "events/s",
+		"advance(ms)", "recompute(s)", "speedup")
+	for _, inst := range insts {
+		s, pts, err := h.load(inst)
+		if err != nil {
+			return nil, err
+		}
+		row, err := h.streamInstance(inst.Name, pts, s.Spec)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+		tw.row(inst.Name,
+			fmt.Sprintf("%d", len(pts)),
+			fmt.Sprintf("%.2f", row.Seconds*1e6),
+			fmt.Sprintf("%.0f", row.Extra["events_per_sec"]),
+			fmt.Sprintf("%.3f", row.Extra["advance_s"]*1e3),
+			fmt.Sprintf("%.4f", row.Extra["recompute_s"]),
+			fmt.Sprintf("%.0f", row.Speedup))
+	}
+	tw.flush(rep.Title, h.cfg)
+	return rep, nil
+}
+
+// streamInstance drives one instance through the updater. Row.Seconds is
+// the per-event add cost; Row.Speedup is recompute/add.
+func (h *harness) streamInstance(name string, pts []grid.Point, spec grid.Spec) (Row, error) {
+	// Hold out the tail of the event set as the ingest stream.
+	m := len(pts) / 10
+	if m > 512 {
+		m = 512
+	}
+	if m < 1 {
+		m = 1
+	}
+	base, feed := pts[:len(pts)-m], pts[len(pts)-m:]
+
+	u, err := core.NewUpdater(spec, core.UpdaterConfig{})
+	if err != nil {
+		return Row{}, err
+	}
+	defer u.Release()
+	u.Add(base...)
+
+	// Sustained single-event ingest (best of Repeats add+remove passes,
+	// so every pass measures the same live set).
+	var addSec float64
+	for r := 0; r < h.cfg.Repeats; r++ {
+		t0 := time.Now()
+		for _, p := range feed {
+			u.Add(p)
+		}
+		sec := time.Since(t0).Seconds()
+		if r == 0 || sec < addSec {
+			addSec = sec
+		}
+		if r < h.cfg.Repeats-1 {
+			if err := u.Remove(feed...); err != nil {
+				return Row{}, err
+			}
+		}
+	}
+	perEvent := addSec / float64(len(feed))
+	if perEvent <= 0 {
+		// A coarse monotonic clock can time the whole pass as 0; clamp to
+		// one nanosecond so the rate columns stay finite and present.
+		perEvent = 1e-9
+	}
+
+	// One-layer window advance.
+	_, t1 := u.Window()
+	t0 := time.Now()
+	u.AdvanceTo(t1)
+	advanceSec := time.Since(t0).Seconds()
+
+	// The full recompute an incremental ingest replaces.
+	rec := h.run(name, core.AlgPBSYM, pts, spec, core.Options{Threads: 1})
+	if rec.OOM {
+		return Row{}, fmt.Errorf("bench: stream: recompute of %s failed", name)
+	}
+
+	row := Row{Instance: name, Algo: "stream", Threads: 1, Seconds: perEvent}
+	row.Extra = map[string]float64{
+		"n":           float64(len(pts)),
+		"ingested":    float64(len(feed)),
+		"advance_s":   advanceSec,
+		"recompute_s": rec.Seconds,
+	}
+	row.Speedup = rec.Seconds / perEvent
+	row.Extra["events_per_sec"] = 1 / perEvent
+	return row, nil
+}

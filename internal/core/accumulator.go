@@ -91,8 +91,9 @@ func (a *Accumulator) apply(pts []grid.Point, sign float64) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	c := a.c // copy: flip the sign without disturbing the stored ctx
-	c.norm *= sign
+	// The signed-weight contribution primitive: a -1 weight subtracts the
+	// bitwise-exact negation of what the +1 weight added.
+	c := a.c.withWeight(sign)
 	v := gridView(a.g)
 	bounds := a.g.Spec.Bounds()
 	if len(pts) < parallelBatch || a.opt.Threads <= 1 {

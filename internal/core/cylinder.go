@@ -27,12 +27,25 @@ import (
 
 // ctx holds the evaluation context shared by every point-based algorithm:
 // the problem spec, kernels, and the constants of the density formula.
+//
+// A ctx also carries a signed contribution weight (see withWeight): the
+// engine's apply functions are the per-point contribution primitive shared
+// by all twelve strategies, and scaling their output by ±1 is what turns
+// the batch estimator into the streaming Accumulator and Updater — a w=-1
+// application subtracts the bitwise-exact negation of what the w=+1
+// application added.
 type ctx struct {
 	spec     grid.Spec
 	sk       kernel.Spatial
 	tk       kernel.Temporal
 	n        int
 	adaptive func(grid.Point) float64
+
+	// weight is the signed contribution scale. The batch estimators use
+	// +1; it is folded into norm (and geom.norm), so the engine's inner
+	// loops are weight-oblivious. applyPB, which deliberately re-derives
+	// its normalization per evaluation (Table 3), multiplies it explicitly.
+	weight float64
 
 	// Uniform-bandwidth fast-path constants.
 	hs, ht     float64
@@ -80,6 +93,7 @@ func newCtx(pts []grid.Point, spec grid.Spec, opt Options) ctx {
 		tk:       opt.Temporal,
 		n:        n,
 		adaptive: opt.AdaptiveBandwidth,
+		weight:   1,
 		hs:       spec.HS,
 		ht:       spec.HT,
 		hs2:      spec.HS * spec.HS,
@@ -111,6 +125,18 @@ func newCtx(pts []grid.Point, spec grid.Spec, opt Options) ctx {
 			}
 		}
 	}
+	return c
+}
+
+// withWeight returns a copy of the ctx whose contributions are scaled by w
+// — the signed-weight contribution primitive. Both the folded norm and the
+// explicit weight flip together, so every apply path (span, dense, PB's
+// per-evaluation form, adaptive geometry) scales consistently. Scaling by
+// ±1 is exact in floating point: w=-1 subtracts bitwise-identical
+// contributions, which is what makes streaming retraction drift-bounded.
+func (c ctx) withWeight(w float64) ctx {
+	c.weight *= w
+	c.norm *= w
 	return c
 }
 
@@ -159,7 +185,7 @@ func (c *ctx) geom(p grid.Point) geom {
 	return geom{
 		hs: hs, ht: ht, hs2: hs * hs,
 		invHS: 1 / hs, invHT: 1 / ht,
-		norm: 1 / (float64(c.n) * hs * hs * ht),
+		norm: c.weight / (float64(c.n) * hs * hs * ht),
 		box:  b.Clip(c.spec.Bounds()),
 	}
 }
@@ -340,7 +366,7 @@ func applyPB(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
 				if s2 < g.hs2 && dt >= -g.ht && dt <= g.ht {
 					ks := c.sk.Eval(dx/g.hs, dy/g.hs)
 					kt := c.tk.Eval(dt / g.ht)
-					row[j] += ks * kt / (float64(c.n) * g.hs * g.hs * g.ht)
+					row[j] += c.weight * ks * kt / (float64(c.n) * g.hs * g.hs * g.ht)
 					sc.skEvals++
 					sc.tkEvals++
 					sc.updates++

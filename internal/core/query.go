@@ -71,13 +71,18 @@ func clamp(v, lo, hi int) int {
 // At returns the exact density estimate at the continuous location
 // (x, y, t) — the same quantity a voxel of the grid-based estimators holds
 // when its center is exactly there.
+//
+// The bin lookup clamps exactly like binOf: out-of-domain events sit in
+// the edge bins (live stream events outrun the creation domain after
+// window advances), so an out-of-domain query must scan those same edge
+// bins — the kernel distance tests then keep the result exact.
 func (q *Query) At(x, y, t float64) float64 {
-	d := q.spec.Domain
 	hs, ht := q.spec.HS, q.spec.HT
 	hs2 := hs * hs
-	bx := int((x - d.X0) / q.bsXY)
-	by := int((y - d.Y0) / q.bsXY)
-	bt := int((t - d.T0) / q.bsT)
+	d := q.spec.Domain
+	bx := clamp(int((x-d.X0)/q.bsXY), 0, q.nbx-1)
+	by := clamp(int((y-d.Y0)/q.bsXY), 0, q.nby-1)
+	bt := clamp(int((t-d.T0)/q.bsT), 0, q.nbt-1)
 	sum := 0.0
 	for dx := -1; dx <= 1; dx++ {
 		nx := bx + dx

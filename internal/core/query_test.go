@@ -116,3 +116,45 @@ func (kernelUniform1D) Eval(w float64) float64 {
 	return 0.5
 }
 func (kernelUniform1D) Name() string { return "test-uniform1d" }
+
+// TestQueryOutOfDomainEvents: events beyond the spec domain land in the
+// edge bins at build time, so queries at (or near) their true locations
+// must find them — the situation of a stream's live events after window
+// advances outrun the creation domain. A naive unclamped bin lookup would
+// scan nothing and report zero.
+func TestQueryOutOfDomainEvents(t *testing.T) {
+	spec := testSpec(t, 30, 30, 90, 5, 7) // domain GT=90, ht=7
+	pts := []grid.Point{{X: 10, Y: 10, T: 100}}
+	q := NewQuery(pts, spec, Options{})
+	opt := Options{}.withDefaults()
+	want := opt.Spatial.Eval(0, 0) * opt.Temporal.Eval(0) * spec.NormFactor(1)
+	if got := q.At(10, 10, 100); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("At(event location beyond domain) = %g, want %g", got, want)
+	}
+	// Within bandwidth of the out-of-domain event: nonzero.
+	if got := q.At(12, 10, 103); got <= 0 {
+		t.Fatalf("At(near out-of-domain event) = %g, want > 0", got)
+	}
+	// Beyond bandwidth in every direction: exactly zero.
+	for _, loc := range []grid.Point{{X: 10, Y: 10, T: 120}, {X: 40, Y: 10, T: 100}, {X: 10, Y: 10, T: -50}} {
+		if got := q.At(loc.X, loc.Y, loc.T); got != 0 {
+			t.Fatalf("At(%v) = %g, want 0", loc, got)
+		}
+	}
+	// An in-domain query set still agrees with the direct O(n) sum.
+	mixed := append(testPoints(100, spec.Domain, 3), pts...)
+	q = NewQuery(mixed, spec, Options{})
+	for _, loc := range []grid.Point{{X: 10, Y: 10, T: 95}, {X: 15, Y: 12, T: 88}, {X: 10, Y: 10, T: 100}} {
+		var want float64
+		for _, p := range mixed {
+			dx, dy, dt := p.X-loc.X, p.Y-loc.Y, p.T-loc.T
+			if dx*dx+dy*dy < spec.HS*spec.HS && dt >= -spec.HT && dt <= spec.HT {
+				want += opt.Spatial.Eval(dx/spec.HS, dy/spec.HS) * opt.Temporal.Eval(dt/spec.HT)
+			}
+		}
+		want *= spec.NormFactor(len(mixed))
+		if got := q.At(loc.X, loc.Y, loc.T); math.Abs(got-want) > 1e-13 {
+			t.Fatalf("At(%v) = %g, direct sum = %g", loc, got, want)
+		}
+	}
+}

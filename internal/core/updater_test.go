@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// updaterSpec is a window spec deliberately shorter than the event stream:
+// GT is the window length, events keep arriving past it.
+func updaterSpec(t *testing.T) grid.Spec {
+	t.Helper()
+	s, err := grid.NewSpec(grid.Domain{GX: 20, GY: 16, GT: 16}, 1, 1, 3.2, 2.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// lcg is a tiny deterministic generator for op interleavings.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r >> 33)
+}
+
+func (r *lcg) float() float64 { return float64(r.next()%1_000_000) / 1_000_000 }
+
+// streamEvent draws an event near time frontier (so sliding windows stay
+// populated), inside the spatial domain.
+func streamEvent(r *lcg, d grid.Domain, frontier float64) grid.Point {
+	return grid.Point{
+		X: d.X0 + r.float()*d.GX,
+		Y: d.Y0 + r.float()*d.GY,
+		T: frontier - 4 + r.float()*8, // straddles the frontier both ways
+	}
+}
+
+// checkUpdater asserts the acceptance criterion: the updater's normalized
+// window agrees with a fresh batch Estimate over the surviving events to
+// <= 1e-9 on every voxel — and, independently, that the raw (unnormalized)
+// window agrees with a batch over every event ever retained by the mirror,
+// which proves expired events were exactly inert on the surviving layers.
+func checkUpdater(t *testing.T, tag string, u *Updater, mirror []grid.Point) {
+	t.Helper()
+	spec := u.Spec()
+	live := u.Live()
+
+	batch, err := Estimate(AlgPBSYM, live, spec, Options{Threads: 1})
+	if err != nil {
+		t.Fatalf("%s: batch: %v", tag, err)
+	}
+	defer batch.Grid.Release()
+	snap, err := u.Snapshot(nil)
+	if err != nil {
+		t.Fatalf("%s: snapshot: %v", tag, err)
+	}
+	for i := range snap.Data {
+		if d := math.Abs(snap.Data[i] - batch.Grid.Data[i]); d > 1e-9 {
+			t.Fatalf("%s: normalized voxel %d differs from batch by %g (updater %g, batch %g)",
+				tag, i, d, snap.Data[i], batch.Grid.Data[i])
+		}
+	}
+
+	// NormN=1 makes the batch fold exactly the updater's unnormalized
+	// 1/(hs^2*ht) weight, so the raw volumes are directly comparable.
+	rawBatch, err := Estimate(AlgPBSYM, mirror, spec, Options{Threads: 1, NormN: 1})
+	if err != nil {
+		t.Fatalf("%s: raw batch: %v", tag, err)
+	}
+	defer rawBatch.Grid.Release()
+	raw, err := u.Ring().Snapshot(nil)
+	if err != nil {
+		t.Fatalf("%s: raw snapshot: %v", tag, err)
+	}
+	for i := range raw.Data {
+		if d := math.Abs(raw.Data[i] - rawBatch.Grid.Data[i]); d > 1e-9 {
+			t.Fatalf("%s: raw voxel %d differs from all-events batch by %g", tag, i, d)
+		}
+	}
+}
+
+// runUpdaterScenario drives a deterministic interleaving of Add, Remove and
+// AdvanceTo (including advances larger than Ht and larger than Gt) and
+// checks agreement with batch estimation after every mutation.
+func runUpdaterScenario(t *testing.T, cfg UpdaterConfig, seed lcg) *Updater {
+	t.Helper()
+	spec := updaterSpec(t)
+	u, err := NewUpdater(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := seed
+	var mirror []grid.Point // every event added and not removed (expiry kept)
+	frontier := spec.Domain.T0 + 8.0
+
+	// Advance steps: mostly small, one larger than Ht (Ht=3), one larger
+	// than Gt (Gt=16).
+	advances := []int{1, 2, spec.Ht + 2, 1, spec.Gt + 3, 2}
+	step := 0
+	for op := 0; op < 36; op++ {
+		switch choice := rng.next() % 10; {
+		case choice < 5: // add a small batch
+			k := int(rng.next()%4) + 1
+			batch := make([]grid.Point, k)
+			for i := range batch {
+				batch[i] = streamEvent(&rng, spec.Domain, frontier)
+			}
+			u.Add(batch...)
+			mirror = append(mirror, batch...)
+		case choice < 7: // remove a live event (when any)
+			live := u.Live()
+			if len(live) == 0 {
+				continue
+			}
+			victim := live[int(rng.next())%len(live)]
+			if err := u.Remove(victim); err != nil {
+				t.Fatalf("op %d: remove live event: %v", op, err)
+			}
+			for i, p := range mirror {
+				if p == victim {
+					mirror = append(mirror[:i], mirror[i+1:]...)
+					break
+				}
+			}
+		default: // slide the window
+			k := advances[step%len(advances)]
+			step++
+			_, t1 := u.Window()
+			adv, _ := u.AdvanceTo(t1 + float64(k-1)*spec.TRes)
+			if adv != k {
+				t.Fatalf("op %d: advanced %d layers, want %d", op, adv, k)
+			}
+			frontier = t1 + float64(k-1)*spec.TRes
+		}
+		checkUpdater(t, "op", u, mirror)
+	}
+	return u
+}
+
+func TestUpdaterMatchesBatch(t *testing.T) {
+	u := runUpdaterScenario(t, UpdaterConfig{}, 1)
+	st := u.Stats()
+	if st.Ops == 0 || st.Advances == 0 {
+		t.Fatalf("scenario did not exercise the updater: %+v", st)
+	}
+	u.Release()
+}
+
+// TestUpdaterCompactionBoundaries forces frequent compactions and asserts
+// the estimate stays exact across every boundary.
+func TestUpdaterCompactionBoundaries(t *testing.T) {
+	u := runUpdaterScenario(t, UpdaterConfig{CompactEvery: 5}, 2)
+	st := u.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("CompactEvery=5 scenario never compacted: %+v", st)
+	}
+	if st.ResidualBound < 0 {
+		t.Fatalf("negative residual bound: %+v", st)
+	}
+	u.Release()
+}
+
+// TestUpdaterResidualDrivenCompaction: an absurdly tight residual limit
+// must trigger compaction on its own.
+func TestUpdaterResidualDrivenCompaction(t *testing.T) {
+	spec := updaterSpec(t)
+	u, err := NewUpdater(spec, UpdaterConfig{ResidualLimit: 1e-300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Release()
+	u.Add(testPoints(50, spec.Domain, 4)...)
+	if st := u.Stats(); st.Compactions == 0 {
+		t.Fatalf("tight residual limit never compacted: %+v", st)
+	}
+	if st := u.Stats(); st.ResidualBound != 0 {
+		t.Fatalf("residual bound not reset by compaction: %+v", st)
+	}
+}
+
+// TestUpdaterAddRemoveCancels: retraction subtracts the bitwise-identical
+// contribution, so add-then-remove leaves at most cancellation rounding.
+func TestUpdaterAddRemoveCancels(t *testing.T) {
+	spec := updaterSpec(t)
+	u, err := NewUpdater(spec, UpdaterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Release()
+	pts := testPoints(80, spec.Domain, 11)
+	u.Add(pts...)
+	if err := u.Remove(pts...); err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 0 {
+		t.Fatalf("N = %d after full retraction, want 0", u.N())
+	}
+	raw, err := u.Ring().Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range raw.Data {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("voxel %d = %g after full retraction, want ~0", i, v)
+		}
+	}
+	// A normalized snapshot of an empty window is exactly zero.
+	snap, err := u.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range snap.Data {
+		if v != 0 {
+			t.Fatalf("normalized voxel %d = %g for empty window, want 0", i, v)
+		}
+	}
+}
+
+// TestUpdaterRemoveUnknownIsAtomic: removing an event that is not live
+// fails without mutating anything, even when other requested events are
+// live.
+func TestUpdaterRemoveUnknownIsAtomic(t *testing.T) {
+	spec := updaterSpec(t)
+	u, err := NewUpdater(spec, UpdaterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Release()
+	pts := testPoints(20, spec.Domain, 13)
+	u.Add(pts...)
+	before, err := u.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghost := grid.Point{X: -1000, Y: -1000, T: -1000}
+	if err := u.Remove(pts[0], ghost); err == nil {
+		t.Fatal("removing an unknown event succeeded")
+	} else if !strings.Contains(err.Error(), "not in the live window") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if u.N() != len(pts) {
+		t.Fatalf("failed remove mutated N: %d, want %d", u.N(), len(pts))
+	}
+	after, err := u.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatalf("failed remove mutated voxel %d", i)
+		}
+	}
+}
+
+// TestUpdaterWindowTracksAdvance: AdvanceTo moves by whole voxels, reports
+// the advance, never moves backward, and expires out-of-reach events.
+func TestUpdaterWindowTracksAdvance(t *testing.T) {
+	spec := updaterSpec(t)
+	u, err := NewUpdater(spec, UpdaterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Release()
+	// One early event that must expire once the window passes it, and one
+	// late event that stays.
+	early := grid.Point{X: 5, Y: 5, T: 1}
+	late := grid.Point{X: 10, Y: 8, T: 30}
+	u.Add(early, late)
+
+	if adv, _ := u.AdvanceTo(spec.Domain.T0); adv != 0 {
+		t.Fatalf("backward AdvanceTo moved the window by %d", adv)
+	}
+	// Hostile targets must no-op, not corrupt the frame offset: huge
+	// positive and negative values exceed float64's integer-exact range
+	// (a negative overflow would wrap the int conversion to a huge
+	// positive advance), and NaN fails every comparison.
+	for _, bad := range []float64{1e300, -1e300, math.Inf(1), math.Inf(-1), math.NaN()} {
+		if adv, exp := u.AdvanceTo(bad); adv != 0 || exp != 0 {
+			t.Fatalf("AdvanceTo(%g) = (%d, %d), want no-op", bad, adv, exp)
+		}
+	}
+	if sp := u.Spec(); sp.OT != 0 {
+		t.Fatalf("hostile AdvanceTo corrupted OT: %d", sp.OT)
+	}
+	adv, expired := u.AdvanceTo(33) // top layer 33: advance by 18 > Gt
+	if adv != 18 {
+		t.Fatalf("advanced %d layers, want 18", adv)
+	}
+	if expired != 1 {
+		t.Fatalf("expired %d events, want 1 (the early event)", expired)
+	}
+	t0, t1 := u.Window()
+	if t0 != 18 || t1 != 34 {
+		t.Fatalf("window = [%g, %g), want [18, 34)", t0, t1)
+	}
+	if sp := u.Spec(); sp.OT != 18 || sp.Gt != spec.Gt {
+		t.Fatalf("spec OT/Gt = %d/%d, want 18/%d", sp.OT, sp.Gt, spec.Gt)
+	}
+	live := u.Live()
+	if len(live) != 1 || live[0] != late {
+		t.Fatalf("live = %v, want [%v]", live, late)
+	}
+	checkUpdater(t, "after advance", u, []grid.Point{early, late})
+}
+
+// TestUpdaterBudget: the window ring is charged to the configured budget
+// and released.
+func TestUpdaterBudget(t *testing.T) {
+	spec := updaterSpec(t)
+	b := grid.NewBudget(spec.Bytes())
+	u, err := NewUpdater(spec, UpdaterConfig{Options: Options{Budget: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != spec.Bytes() {
+		t.Fatalf("budget used = %d, want %d", b.Used(), spec.Bytes())
+	}
+	if _, err := NewUpdater(spec, UpdaterConfig{Options: Options{Budget: b}}); err == nil {
+		t.Fatal("second updater fit in a one-grid budget")
+	}
+	u.Release()
+	if b.Used() != 0 {
+		t.Fatalf("budget used after Release = %d, want 0", b.Used())
+	}
+}

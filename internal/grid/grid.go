@@ -111,6 +111,16 @@ func (s Spec) CenterY(Y int) float64 { return s.Domain.Y0 + (float64(Y)+0.5)*s.S
 // spec's CenterT(T+OT), which is what makes sub-spec estimation exact.
 func (s Spec) CenterT(T int) float64 { return s.Domain.T0 + (float64(T+s.OT)+0.5)*s.TRes }
 
+// CoversT reports whether time t falls inside the spec's voxelized
+// temporal window — layers [OT, OT+Gt) in the root frame. For a root spec
+// this matches the domain's temporal extent (up to the final ceil-rounded
+// layer); for a sub-spec or an advanced stream window it follows the
+// frame offset, which Domain alone does not know about.
+func (s Spec) CoversT(t float64) bool {
+	layer := math.Floor((t - s.Domain.T0) / s.TRes)
+	return layer >= float64(s.OT) && layer < float64(s.OT+s.Gt)
+}
+
 // VoxelOf returns the voxel containing point p, clamped to the grid so that
 // boundary points (p exactly on the far domain edge) map to the last voxel.
 // In a sub-spec, points outside the temporal window clamp to its first or

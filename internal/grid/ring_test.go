@@ -1,0 +1,193 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func ringSpec(t *testing.T, gt int) Spec {
+	t.Helper()
+	s, err := NewSpec(Domain{GX: 4, GY: 3, GT: float64(gt)}, 1, 1, 1.5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// fillLogical stamps every voxel with a value encoding its root-frame
+// coordinates, so rotations are detectable.
+func fillLogical(r *Ring) {
+	s := r.Spec()
+	for X := 0; X < s.Gx; X++ {
+		for Y := 0; Y < s.Gy; Y++ {
+			for T := 0; T < s.Gt; T++ {
+				r.Data[(X*s.Gy+Y)*s.Gt+r.PhysOf(T)] = encode(X, Y, T+s.OT)
+			}
+		}
+	}
+}
+
+func encode(X, Y, rootT int) float64 {
+	return float64(X)*1e6 + float64(Y)*1e3 + float64(rootT)
+}
+
+func TestRingAdvanceRotates(t *testing.T) {
+	spec := ringSpec(t, 8)
+	r, err := NewRing(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillLogical(r)
+	// Advance in uneven steps so base wraps several times.
+	advanced := 0
+	for _, k := range []int{3, 1, 5, 2, 7} {
+		oldSpec := r.Spec()
+		r.Advance(k)
+		advanced += k
+		s := r.Spec()
+		if s.OT != oldSpec.OT+k {
+			t.Fatalf("after Advance(%d): OT = %d, want %d", k, s.OT, oldSpec.OT+k)
+		}
+		// Surviving layers keep their root-frame stamps; freed layers are 0.
+		for X := 0; X < s.Gx; X++ {
+			for Y := 0; Y < s.Gy; Y++ {
+				for T := 0; T < s.Gt; T++ {
+					root := T + s.OT
+					want := encode(X, Y, root)
+					if T >= s.Gt-k || k >= s.Gt {
+						want = 0
+					}
+					if got := r.At(X, Y, T); got != want {
+						t.Fatalf("Advance(%d): At(%d,%d,%d) = %g, want %g", k, X, Y, T, got, want)
+					}
+				}
+			}
+		}
+		fillLogical(r) // restamp for the next step
+	}
+	if r.Spec().OT != advanced {
+		t.Fatalf("cumulative OT = %d, want %d", r.Spec().OT, advanced)
+	}
+}
+
+func TestRingAdvanceWholeWindow(t *testing.T) {
+	spec := ringSpec(t, 5)
+	r, err := NewRing(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillLogical(r)
+	r.Advance(spec.Gt + 3) // larger than the window: everything is freed
+	s := r.Spec()
+	if s.OT != spec.Gt+3 {
+		t.Fatalf("OT = %d, want %d", s.OT, spec.Gt+3)
+	}
+	for i, v := range r.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %g after whole-window advance, want 0", i, v)
+		}
+	}
+}
+
+func TestRingSegmentsCoverContiguously(t *testing.T) {
+	spec := ringSpec(t, 7)
+	r, err := NewRing(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Advance(4) // base = 4: ranges crossing layer 3 wrap
+	for t0 := 0; t0 < spec.Gt; t0++ {
+		for t1 := t0; t1 < spec.Gt; t1++ {
+			segs := r.Segments(t0, t1)
+			if len(segs) == 0 || len(segs) > 2 {
+				t.Fatalf("Segments(%d,%d) = %v: want 1 or 2 runs", t0, t1, segs)
+			}
+			next := t0
+			for _, sg := range segs {
+				if sg.T0 != next {
+					t.Fatalf("Segments(%d,%d) = %v: gap before %d", t0, t1, segs, sg.T0)
+				}
+				for T := sg.T0; T <= sg.T1; T++ {
+					phys := sg.Phys + (T - sg.T0)
+					if phys != r.PhysOf(T) {
+						t.Fatalf("Segments(%d,%d): layer %d maps to phys %d, want %d",
+							t0, t1, T, phys, r.PhysOf(T))
+					}
+					if phys >= spec.Gt {
+						t.Fatalf("Segments(%d,%d): run wraps past Gt", t0, t1)
+					}
+				}
+				next = sg.T1 + 1
+			}
+			if next != t1+1 {
+				t.Fatalf("Segments(%d,%d) = %v: covers up to %d", t0, t1, segs, next-1)
+			}
+		}
+	}
+	if segs := r.Segments(3, 2); segs != nil {
+		t.Fatalf("Segments(3,2) = %v, want nil", segs)
+	}
+}
+
+func TestRingSnapshotLogicalOrder(t *testing.T) {
+	spec := ringSpec(t, 6)
+	r, err := NewRing(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Advance(4)
+	fillLogical(r)
+	g, err := r.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Spec()
+	if g.Spec != s {
+		t.Fatalf("snapshot spec = %+v, want %+v", g.Spec, s)
+	}
+	for X := 0; X < s.Gx; X++ {
+		for Y := 0; Y < s.Gy; Y++ {
+			for T := 0; T < s.Gt; T++ {
+				if got, want := g.At(X, Y, T), r.At(X, Y, T); got != want {
+					t.Fatalf("snapshot At(%d,%d,%d) = %g, want %g", X, Y, T, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRingBudgetAccounting(t *testing.T) {
+	spec := ringSpec(t, 4)
+	b := NewBudget(spec.Bytes())
+	r, err := NewRing(spec, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Used(); got != spec.Bytes() {
+		t.Fatalf("budget used = %d, want %d", got, spec.Bytes())
+	}
+	if _, err := NewRing(spec, b); err == nil {
+		t.Fatal("second ring fit in a one-grid budget")
+	}
+	r.Release()
+	if got := b.Used(); got != 0 {
+		t.Fatalf("budget used after Release = %d, want 0", got)
+	}
+}
+
+func TestRingCenterTTracksRootFrame(t *testing.T) {
+	spec := ringSpec(t, 6)
+	r, err := NewRing(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := spec
+	r.Advance(9)
+	s := r.Spec()
+	for T := 0; T < s.Gt; T++ {
+		want := root.Domain.T0 + (float64(T+9)+0.5)*root.TRes
+		if got := s.CenterT(T); math.Abs(got-want) != 0 {
+			t.Fatalf("CenterT(%d) = %g, want %g", T, got, want)
+		}
+	}
+}

@@ -17,6 +17,12 @@ type gridCache struct {
 	budget  *grid.Budget
 	entries map[estimateKey]*list.Element
 	lru     *list.List // front = most recently used
+
+	// resident is the byte total of the LRU entries themselves. The
+	// budget may additionally carry non-evictable charges (stream window
+	// rings); Used()-resident is that pinned share, which eviction can
+	// never reclaim.
+	resident int64
 }
 
 type cacheEntry struct {
@@ -56,32 +62,86 @@ func (c *gridCache) contains(k estimateKey) bool {
 
 // put inserts a grid, evicting least-recently-used entries until the byte
 // budget admits it. It returns the number of evictions and whether the
-// grid was cached at all (a grid larger than the entire budget is not).
+// grid was cached at all (a grid larger than the evictable share of the
+// budget — the limit minus pinned stream-ring charges — is not, and
+// evicts nothing on the way to finding that out).
 func (c *gridCache) put(k estimateKey, g *grid.Grid) (evicted int, cached bool) {
 	bytes := g.Spec.Bytes()
-	if bytes > c.budget.Limit() {
-		return 0, false
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[k]; ok { // racing writer won; keep the resident grid
 		c.lru.MoveToFront(e)
 		return 0, true
 	}
+	// Headroom check after the resident check: an already-cached key must
+	// count as a hit (and get its LRU touch) even when pinned stream
+	// charges have since shrunk the evictable share below its size.
+	if pinned := c.budget.Used() - c.resident; bytes > c.budget.Limit()-pinned {
+		return 0, false
+	}
 	for c.budget.Alloc(bytes) != nil {
 		back := c.lru.Back()
 		if back == nil {
-			return evicted, false // unreachable: bytes <= limit and cache empty
+			return evicted, false // a pinned charge raced the headroom check
 		}
-		ent := back.Value.(*cacheEntry)
-		c.lru.Remove(back)
-		delete(c.entries, ent.key)
-		c.budget.Free(ent.bytes)
+		c.dropLocked(back)
 		evicted++
 	}
 	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, g: g, bytes: bytes})
+	c.resident += bytes
 	return evicted, true
 }
+
+// dropLocked removes one LRU element, returning its bytes to the budget.
+// Callers hold c.mu.
+func (c *gridCache) dropLocked(e *list.Element) {
+	ent := e.Value.(*cacheEntry)
+	c.lru.Remove(e)
+	delete(c.entries, ent.key)
+	c.budget.Free(ent.bytes)
+	c.resident -= ent.bytes
+}
+
+// invalidateDataset drops every cached grid derived from the dataset — the
+// correctness hinge of mutable stream datasets: after an ingest or window
+// advance, no stale cube may be served. Other datasets' entries are
+// untouched. It returns the number of grids dropped.
+func (c *gridCache) invalidateDataset(id string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, e := range c.entries {
+		if k.Dataset != id {
+			continue
+		}
+		c.dropLocked(e)
+		n++
+	}
+	return n
+}
+
+// evictFor evicts least-recently-used grids until the budget has room for
+// an external charge of the given bytes (a stream's long-lived window
+// ring). It gives up when the cache is empty; the caller's own allocation
+// against the shared budget then reports the shortfall.
+func (c *gridCache) evictFor(bytes int64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for c.budget.Limit() > 0 && c.budget.Used()+bytes > c.budget.Limit() {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.dropLocked(back)
+		n++
+	}
+	return n
+}
+
+// budgetHandle exposes the cache's byte budget so long-lived stream grids
+// are accounted in the same pool the LRU evicts against.
+func (c *gridCache) budgetHandle() *grid.Budget { return c.budget }
 
 // stats reports occupancy: resident grids, charged bytes, byte limit.
 func (c *gridCache) stats() (entries int, bytes, limit int64) {

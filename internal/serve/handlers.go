@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -19,6 +20,8 @@ import (
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	mux.HandleFunc("/v1/datasets/", s.handleDatasetSub) // {id}/events, {id}/advance
+	mux.HandleFunc("/v1/streams", s.handleStreams)
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/query", s.handleQuery)
@@ -62,20 +65,41 @@ func toDomainJSON(d grid.Domain) domainJSON {
 // datasetJSON is the wire shape of a registered dataset.
 type datasetJSON struct {
 	Dataset string     `json:"dataset"`
+	Stream  bool       `json:"stream,omitempty"`
 	Points  int        `json:"points"`
 	Bounds  domainJSON `json:"bounds"`
 	Added   time.Time  `json:"added"`
 }
 
 func toDatasetJSON(ds *dataset) datasetJSON {
-	lo, hi := ds.bounds[0], ds.bounds[1]
-	return datasetJSON{
+	lo, hi := ds.boundsBox()
+	out := datasetJSON{
 		Dataset: ds.id,
-		Points:  len(ds.pts),
-		Bounds: domainJSON{X0: lo.X, Y0: lo.Y, T0: lo.T,
-			GX: hi.X - lo.X, GY: hi.Y - lo.Y, GT: hi.T - lo.T},
-		Added: ds.added,
+		Stream:  ds.stream,
+		Points:  ds.size(),
+		Added:   ds.added,
 	}
+	if out.Points > 0 {
+		out.Bounds = domainJSON{X0: lo.X, Y0: lo.Y, T0: lo.T,
+			GX: hi.X - lo.X, GY: hi.Y - lo.Y, GT: hi.T - lo.T}
+	}
+	return out
+}
+
+// validatePoints rejects non-finite event coordinates at the ingestion
+// boundary: strconv.ParseFloat accepts "NaN"/"Inf", and one NaN event
+// would poison every density derived from the dataset (and, for a stream,
+// the long-lived window ring itself — compaction re-applies it, so drift
+// control could never heal it).
+func validatePoints(pts []grid.Point) error {
+	for i, p := range pts {
+		for _, v := range [3]float64{p.X, p.Y, p.T} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("event %d has a non-finite coordinate (%g, %g, %g)", i, p.X, p.Y, p.T)
+			}
+		}
+	}
+	return nil
 }
 
 // handleDatasets ingests a CSV event set (POST) or lists the registry
@@ -91,6 +115,10 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		}
 		if len(pts) == 0 {
 			writeErr(w, http.StatusBadRequest, "dataset has no events")
+			return
+		}
+		if err := validatePoints(pts); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		ds, created := s.addDataset(pts)
@@ -138,9 +166,14 @@ func (s *Server) resolveKey(datasetID, algorithm string, sres, tres, hs, ht floa
 		return estimateKey{}, nil, fmt.Errorf("unknown algorithm %q (known: %s)",
 			algorithm, strings.Join(core.Algorithms(), ", "))
 	}
+	st, isStream := s.streams.get(ds.id)
 	d := grid.Domain{}
 	if dom != nil {
 		d = *dom
+	} else if isStream {
+		// A stream's natural domain is its creation window, not the
+		// (possibly empty, always shifting) event bounding box.
+		d = st.base.Domain
 	} else {
 		if hs <= 0 || ht <= 0 {
 			return estimateKey{}, nil, fmt.Errorf("hs and ht must be positive, got hs=%g ht=%g", hs, ht)
@@ -151,14 +184,31 @@ func (s *Server) resolveKey(datasetID, algorithm string, sres, tres, hs, ht floa
 	if err != nil {
 		return estimateKey{}, nil, err
 	}
-	// Size the grid in float arithmetic: Spec.Bytes() is int64 and a
-	// hostile request can overflow it past the guard (2^61 voxels wraps
-	// to 0 bytes), panicking the allocation instead of failing here.
-	if bytes := float64(spec.Gx) * float64(spec.Gy) * float64(spec.Gt) * 8; bytes > float64(s.cfg.MaxGridBytes) {
-		return estimateKey{}, nil, fmt.Errorf("derived grid %dx%dx%d needs %.0f bytes, over the %d-byte per-request limit; coarsen sres/tres or shrink the domain",
-			spec.Gx, spec.Gy, spec.Gt, bytes, s.cfg.MaxGridBytes)
+	if err := s.checkGridBytes(spec); err != nil {
+		return estimateKey{}, nil, err
+	}
+	// A request matching a stream's creation spec resolves to the live
+	// window sub-spec (OT follows every advance), so clients keep naming
+	// the stream by its creation parameters while the window slides — and
+	// the cache key distinguishes window positions for free.
+	if isStream {
+		if w, ok := st.windowSpec(spec); ok {
+			spec = w
+		}
 	}
 	return estimateKey{Dataset: ds.id, Spec: spec, Algorithm: algorithm}, ds, nil
+}
+
+// checkGridBytes rejects specs whose grid exceeds the per-request limit.
+// The size is computed in float arithmetic: Spec.Bytes() is int64 and a
+// hostile request can overflow it past the guard (2^61 voxels wraps to 0
+// bytes), panicking the allocation instead of failing here.
+func (s *Server) checkGridBytes(spec grid.Spec) error {
+	if bytes := float64(spec.Gx) * float64(spec.Gy) * float64(spec.Gt) * 8; bytes > float64(s.cfg.MaxGridBytes) {
+		return fmt.Errorf("derived grid %dx%dx%d needs %.0f bytes, over the %d-byte per-request limit; coarsen sres/tres or shrink the domain",
+			spec.Gx, spec.Gy, spec.Gt, bytes, s.cfg.MaxGridBytes)
+	}
+	return nil
 }
 
 // handleEstimate launches (or joins) an asynchronous estimation job and
@@ -287,11 +337,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	exactReq := q.Get("exact") == "1" || q.Get("exact") == "true"
+	// Stream fast path: a query matching the live window spec reads the
+	// in-place ring directly — always fresh, no cache, no estimation. The
+	// window does its own coverage check (its time range has outrun the
+	// creation domain after advances), and anything it cannot answer falls
+	// through to the exact evaluator over the live events.
+	if !exactReq {
+		if st, ok := s.streams.get(k.Dataset); ok {
+			if density, vox, window, ok := st.voxelDensity(k.Spec, x, y, t); ok {
+				s.met.streamReads.Add(1)
+				writeJSON(w, http.StatusOK, map[string]any{
+					"density": density,
+					"source":  "stream",
+					"voxel":   vox,
+					"center": [3]float64{k.Spec.CenterX(vox[0]),
+						k.Spec.CenterY(vox[1]), k.Spec.CenterT(vox[2])},
+					"window": window,
+				})
+				return
+			}
+		}
+	}
 	// Out-of-domain locations bypass the grid: VoxelOf would clamp them
 	// to an edge voxel and report its (wrong, possibly large) density,
-	// while the exact evaluator correctly decays to zero.
-	exact := q.Get("exact") == "1" || q.Get("exact") == "true" ||
-		!k.Spec.Domain.Contains(grid.Point{X: x, Y: y, T: t})
+	// while the exact evaluator correctly decays to zero. CoversT guards
+	// the temporal window separately: an advanced stream window's cached
+	// snapshot no longer covers creation-domain times the window left
+	// behind (Domain.Contains cannot see the OT frame offset).
+	exact := exactReq ||
+		!k.Spec.Domain.Contains(grid.Point{X: x, Y: y, T: t}) ||
+		!k.Spec.CoversT(t)
 	if !exact {
 		if g, ok := s.cache.get(k); ok {
 			s.met.cacheHits.Add(1)
@@ -398,6 +474,176 @@ func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"hotspots": out, "cached": cached})
 }
 
+// streamJSON is the wire shape of a live stream dataset.
+type streamJSON struct {
+	Dataset string `json:"dataset"`
+	Stream  bool   `json:"stream"`
+	Points  int    `json:"points"`
+	Added   int    `json:"added,omitempty"`
+	// Advanced and Expired are always present (no omitempty): a client
+	// counting dropped events must see an explicit 0 on a no-op advance.
+	Advanced int        `json:"advanced_layers"`
+	Expired  int        `json:"expired"`
+	Window   [2]float64 `json:"window"` // continuous time range [t0, t1)
+	Grid     [3]int     `json:"grid"`
+	Version  int64      `json:"version"`
+}
+
+func (s *Server) toStreamJSON(st *stream) streamJSON {
+	t0, t1 := st.window()
+	sp := st.base
+	return streamJSON{
+		Dataset: st.id,
+		Stream:  true,
+		Points:  st.ds.size(),
+		Window:  [2]float64{t0, t1},
+		Grid:    [3]int{sp.Gx, sp.Gy, sp.Gt},
+		Version: st.ds.ver(),
+	}
+}
+
+// streamRequest is the JSON body of POST /v1/streams: the window spec the
+// live grid is maintained on. The domain's temporal extent is the window
+// length; the window slides forward from there with /advance.
+type streamRequest struct {
+	SRes   float64     `json:"sres"`
+	TRes   float64     `json:"tres"`
+	HS     float64     `json:"hs"`
+	HT     float64     `json:"ht"`
+	Domain *domainJSON `json:"domain"`
+}
+
+// handleStreams creates a live stream dataset (POST) or lists the live
+// streams (GET).
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req streamRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "parse JSON body: %v", err)
+			return
+		}
+		if req.Domain == nil {
+			writeErr(w, http.StatusBadRequest, "a stream needs an explicit domain (its temporal extent is the window length)")
+			return
+		}
+		spec, err := grid.NewSpec(req.Domain.domain(), req.SRes, req.TRes, req.HS, req.HT)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.checkGridBytes(spec); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		st, err := s.createStream(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, grid.ErrMemoryBudget) {
+				code = http.StatusInsufficientStorage
+			}
+			writeErr(w, code, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, s.toStreamJSON(st))
+	case http.MethodGet:
+		streams := s.streams.list()
+		out := make([]streamJSON, 0, len(streams))
+		for _, st := range streams {
+			out = append(out, s.toStreamJSON(st))
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"streams": out})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "use POST (create) or GET (list)")
+	}
+}
+
+// handleDatasetSub dispatches the per-dataset mutation endpoints:
+// POST /v1/datasets/{id}/events, POST /v1/datasets/{id}/advance, and
+// DELETE /v1/datasets/{id} (streams only).
+func (s *Server) handleDatasetSub(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/datasets/")
+	id, action, hasAction := strings.Cut(rest, "/")
+	wantMethod := http.MethodPost
+	if !hasAction {
+		if r.Method != http.MethodDelete {
+			writeErr(w, http.StatusNotFound, "unknown path %q: use /v1/datasets/{id}/events, /v1/datasets/{id}/advance, or DELETE /v1/datasets/{id}", r.URL.Path)
+			return
+		}
+		wantMethod = http.MethodDelete
+	}
+	if r.Method != wantMethod {
+		writeErr(w, http.StatusMethodNotAllowed, "use %s", wantMethod)
+		return
+	}
+	st, ok := s.streams.get(id)
+	if !ok {
+		if _, isDataset := s.reg.get(id); isDataset {
+			writeErr(w, http.StatusConflict, "dataset %q is immutable (content-addressed); create a mutable dataset with POST /v1/streams", id)
+			return
+		}
+		writeErr(w, http.StatusNotFound, "unknown stream %q", id)
+		return
+	}
+	if !hasAction { // DELETE /v1/datasets/{id}
+		s.deleteStream(st)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	switch action {
+	case "events":
+		pts, err := gio.ReadPoints(r.Body)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "parse CSV body: %v", err)
+			return
+		}
+		if len(pts) == 0 {
+			writeErr(w, http.StatusBadRequest, "ingest has no events")
+			return
+		}
+		if err := validatePoints(pts); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		total, err := s.streamIngest(st, pts)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		out := s.toStreamJSON(st)
+		out.Added = len(pts)
+		out.Points = total
+		writeJSON(w, http.StatusOK, out)
+	case "advance":
+		var req struct {
+			T *float64 `json:"t"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "parse JSON body: %v", err)
+			return
+		}
+		if req.T == nil {
+			writeErr(w, http.StatusBadRequest, `body must carry the target time, e.g. {"t": 120.5}`)
+			return
+		}
+		if math.IsNaN(*req.T) || math.IsInf(*req.T, 0) {
+			writeErr(w, http.StatusBadRequest, "t must be a finite time, got %g", *req.T)
+			return
+		}
+		advanced, expired, err := s.streamAdvance(st, *req.T)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		out := s.toStreamJSON(st)
+		out.Advanced = advanced
+		out.Expired = expired
+		writeJSON(w, http.StatusOK, out)
+	default:
+		writeErr(w, http.StatusNotFound, "unknown action %q: use events or advance", action)
+	}
+}
+
 // ensureStatus maps an ensureGrid failure to its HTTP status.
 func ensureStatus(err error) int {
 	if errors.Is(err, errShuttingDown) {
@@ -413,6 +659,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"status":            "ok",
 		"uptime_s":          time.Since(s.start).Seconds(),
 		"datasets":          len(s.reg.list()),
+		"streams":           s.streams.count(),
 		"cache_entries":     entries,
 		"cache_bytes":       bytes,
 		"cache_limit_bytes": limit,

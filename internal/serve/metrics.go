@@ -25,6 +25,13 @@ type metrics struct {
 	jobsFailed  expvar.Int
 	inflight    expvar.Int // HTTP requests in flight
 	latency     *latencyHist
+
+	streams         expvar.Int // live stream datasets
+	streamEvents    expvar.Int // events ingested into streams
+	streamAdvances  expvar.Int // window advances that moved a stream
+	streamReads     expvar.Int // queries answered from a live window ring
+	streamSnapshots expvar.Int // window snapshots served/cached
+	invalidations   expvar.Int // cached grids + query indexes dropped by stream mutation
 }
 
 func newMetrics() *metrics {
@@ -39,6 +46,12 @@ func newMetrics() *metrics {
 	met.m.Set("jobs_done", &met.jobsDone)
 	met.m.Set("jobs_failed", &met.jobsFailed)
 	met.m.Set("requests_inflight", &met.inflight)
+	met.m.Set("streams", &met.streams)
+	met.m.Set("stream_events", &met.streamEvents)
+	met.m.Set("stream_advances", &met.streamAdvances)
+	met.m.Set("stream_reads", &met.streamReads)
+	met.m.Set("stream_snapshots", &met.streamSnapshots)
+	met.m.Set("stream_invalidations", &met.invalidations)
 	met.m.Set("latency_p50_ms", expvar.Func(func() any { return met.latency.quantile(0.50) * 1e3 }))
 	met.m.Set("latency_p99_ms", expvar.Func(func() any { return met.latency.quantile(0.99) * 1e3 }))
 	return met

@@ -14,13 +14,93 @@ import (
 	"repro/internal/grid"
 )
 
-// dataset is one registered event set, content-addressed by the hash of
-// its points so identical uploads deduplicate and ids are immutable.
+// dataset is one registered event set. Batch datasets are
+// content-addressed by the hash of their points, so identical uploads
+// deduplicate and ids are immutable. Stream datasets (created by
+// POST /v1/streams) are mutable: ingest appends events and window advances
+// replace the live set, so their points live behind a lock and carry a
+// version that cache fills check against.
 type dataset struct {
 	id     string
-	pts    []grid.Point
-	bounds [2]grid.Point // tight bounding box: min, max per axis
+	stream bool
 	added  time.Time
+
+	mu      sync.RWMutex
+	pts     []grid.Point
+	bounds  [2]grid.Point // tight bounding box: min, max per axis
+	version int64         // bumped on every mutation (streams only)
+}
+
+// points returns the current event snapshot. The returned slice must not
+// be mutated; its prefix is never rewritten, so concurrent appends are
+// safe.
+func (ds *dataset) points() []grid.Point {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.pts
+}
+
+// size returns the current event count.
+func (ds *dataset) size() int {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return len(ds.pts)
+}
+
+// boundsBox returns the current tight bounding box.
+func (ds *dataset) boundsBox() (lo, hi grid.Point) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.bounds[0], ds.bounds[1]
+}
+
+// ver returns the mutation version.
+func (ds *dataset) ver() int64 {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.version
+}
+
+// appendPoints appends ingested events (stream datasets), expanding the
+// bounding box and bumping the version. It returns the new total.
+func (ds *dataset) appendPoints(pts []grid.Point) int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if len(ds.pts) == 0 {
+		ds.bounds = emptyBounds()
+	}
+	ds.pts = append(ds.pts, pts...)
+	for _, p := range pts {
+		expandBounds(&ds.bounds, p)
+	}
+	ds.version++
+	return len(ds.pts)
+}
+
+// replacePoints swaps the whole event set (after a stream window advance
+// expires events), recomputing the bounding box and bumping the version.
+func (ds *dataset) replacePoints(pts []grid.Point) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.pts = pts
+	ds.bounds = emptyBounds()
+	for _, p := range pts {
+		expandBounds(&ds.bounds, p)
+	}
+	ds.version++
+}
+
+func emptyBounds() [2]grid.Point {
+	return [2]grid.Point{
+		{X: math.Inf(1), Y: math.Inf(1), T: math.Inf(1)},
+		{X: math.Inf(-1), Y: math.Inf(-1), T: math.Inf(-1)},
+	}
+}
+
+func expandBounds(b *[2]grid.Point, p grid.Point) {
+	b[0].X, b[1].X = math.Min(b[0].X, p.X), math.Max(b[1].X, p.X)
+	b[0].Y, b[1].Y = math.Min(b[0].Y, p.Y), math.Max(b[1].Y, p.Y)
+	b[0].T, b[1].T = math.Min(b[0].T, p.T), math.Max(b[1].T, p.T)
 }
 
 // registry holds the registered datasets and a small cache of exact-query
@@ -84,16 +164,49 @@ func (r *registry) add(pts []grid.Point) (*dataset, bool) {
 	if ds, ok := r.sets[id]; ok {
 		return ds, false
 	}
-	lo := grid.Point{X: math.Inf(1), Y: math.Inf(1), T: math.Inf(1)}
-	hi := grid.Point{X: math.Inf(-1), Y: math.Inf(-1), T: math.Inf(-1)}
+	bounds := emptyBounds()
 	for _, p := range pts {
-		lo.X, hi.X = math.Min(lo.X, p.X), math.Max(hi.X, p.X)
-		lo.Y, hi.Y = math.Min(lo.Y, p.Y), math.Max(hi.Y, p.Y)
-		lo.T, hi.T = math.Min(lo.T, p.T), math.Max(hi.T, p.T)
+		expandBounds(&bounds, p)
 	}
-	ds := &dataset{id: id, pts: pts, bounds: [2]grid.Point{lo, hi}, added: time.Now()}
+	ds := &dataset{id: id, pts: pts, bounds: bounds, added: time.Now()}
 	r.sets[id] = ds
 	return ds, true
+}
+
+// addStream registers an empty mutable dataset under the given id (stream
+// ids are allocated by the stream table, not content-addressed).
+func (r *registry) addStream(id string) *dataset {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds := &dataset{id: id, stream: true, bounds: emptyBounds(), added: time.Now()}
+	r.sets[id] = ds
+	return ds
+}
+
+// remove deletes a dataset from the registry (stream deletion).
+func (r *registry) remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sets, id)
+}
+
+// invalidateQueries drops every exact-query index derived from the dataset
+// (stream mutation makes them stale). It returns the number dropped.
+func (r *registry) invalidateQueries(id string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.queryOrder[:0]
+	n := 0
+	for _, k := range r.queryOrder {
+		if k.Dataset == id {
+			delete(r.queries, k)
+			n++
+			continue
+		}
+		kept = append(kept, k)
+	}
+	r.queryOrder = kept
+	return n
 }
 
 // get returns the dataset by id.
@@ -120,6 +233,13 @@ func (r *registry) list() []*dataset {
 // dataset and spec, used by the /v1/query fallback path. The cache is
 // bounded: oldest indexes are dropped past maxQueryIndexes, and a spec
 // whose bin table would exceed maxQueryBins is rejected.
+//
+// The publish is version-checked: a build that raced a stream mutation
+// (whose invalidateQueries already ran) answers the request but is not
+// cached, so a stale index can never outlive the mutation that obsoleted
+// it. The version is captured before the point snapshot — appendPoints
+// bumps them together, so an unchanged version at publish time proves the
+// snapshot is still current.
 func (r *registry) queryIndex(ds *dataset, spec grid.Spec) (*core.Query, error) {
 	k := queryKey{Dataset: ds.id, Spec: spec}
 	r.mu.RLock()
@@ -133,11 +253,12 @@ func (r *registry) queryIndex(ds *dataset, spec grid.Spec) (*core.Query, error) 
 	if bins > maxQueryBins {
 		return nil, fmt.Errorf("serve: exact query would bin the domain into %.0f blocks (limit %d); raise the bandwidths or shrink the domain", bins, maxQueryBins)
 	}
-	q = core.NewQuery(ds.pts, spec, core.Options{})
+	v := ds.ver()
+	q = core.NewQuery(ds.points(), spec, core.Options{})
 	r.mu.Lock()
 	if prev, ok := r.queries[k]; ok { // racing builder won
 		q = prev
-	} else {
+	} else if ds.ver() == v {
 		for len(r.queryOrder) >= maxQueryIndexes {
 			delete(r.queries, r.queryOrder[0])
 			r.queryOrder = r.queryOrder[1:]
@@ -154,7 +275,7 @@ func (r *registry) queryIndex(ds *dataset, spec grid.Spec) (*core.Query, error) 
 // derivation as cmd/stkde). It is deterministic, so requests that omit the
 // domain agree on the cache key.
 func (ds *dataset) defaultDomain(hs, ht float64) grid.Domain {
-	lo, hi := ds.bounds[0], ds.bounds[1]
+	lo, hi := ds.boundsBox()
 	return grid.Domain{
 		X0: lo.X - hs, Y0: lo.Y - hs, T0: lo.T - ht,
 		GX: hi.X - lo.X + 2*hs + 1e-9,

@@ -7,7 +7,12 @@
 //
 //   - a dataset registry that ingests event sets through the CSV codec and
 //     content-addresses them by hash, so identical uploads deduplicate and
-//     every request names its data immutably;
+//     every request names its data immutably — plus mutable *stream*
+//     datasets (POST /v1/streams) whose events arrive over time
+//     (POST /v1/datasets/{id}/events) and whose sliding window density is
+//     maintained in place by a core.Updater, with window advances
+//     (POST /v1/datasets/{id}/advance) and exact invalidation of every
+//     cache derived from the mutated dataset;
 //   - a grid cache keyed by (dataset, Spec, algorithm) with LRU eviction
 //     accounted against a grid.Budget, so repeated requests for the same
 //     density cube are O(1) lookups instead of re-estimations;
@@ -66,6 +71,12 @@ type Config struct {
 	// (default 1 GiB). Requests whose spec exceeds it are rejected with
 	// 400 instead of allocating unbounded memory in a shared daemon.
 	MaxGridBytes int64
+
+	// MaxStreams bounds the number of live stream datasets (default 16).
+	// Each stream pins a window-sized grid against the cache budget for
+	// its whole lifetime, so the cap keeps a client from turning the cache
+	// into pinned rings.
+	MaxStreams int
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxGridBytes <= 0 {
 		c.MaxGridBytes = 1 << 30
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 16
 	}
 	return c
 }
@@ -108,15 +122,16 @@ func (k estimateKey) id() string {
 // Server is the density-serving subsystem. It implements http.Handler;
 // mount it directly or behind a mux. Create it with New.
 type Server struct {
-	cfg    Config
-	reg    *registry
-	cache  *gridCache
-	flight *flightGroup
-	sem    chan struct{} // estimation pool: one token per concurrent estimate
-	jobs   *jobTable
-	met    *metrics
-	mux    *http.ServeMux
-	start  time.Time
+	cfg     Config
+	reg     *registry
+	cache   *gridCache
+	streams *streamTable
+	flight  *flightGroup
+	sem     chan struct{} // estimation pool: one token per concurrent estimate
+	jobs    *jobTable
+	met     *metrics
+	mux     *http.ServeMux
+	start   time.Time
 
 	mu     sync.Mutex
 	closed bool
@@ -132,14 +147,15 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		reg:    newRegistry(),
-		cache:  newGridCache(cfg.CacheBytes),
-		flight: newFlightGroup(),
-		sem:    make(chan struct{}, cfg.Workers),
-		jobs:   newJobTable(),
-		met:    newMetrics(),
-		start:  time.Now(),
+		cfg:     cfg,
+		reg:     newRegistry(),
+		cache:   newGridCache(cfg.CacheBytes),
+		streams: newStreamTable(),
+		flight:  newFlightGroup(),
+		sem:     make(chan struct{}, cfg.Workers),
+		jobs:    newJobTable(),
+		met:     newMetrics(),
+		start:   time.Now(),
 	}
 	s.mux = s.routes()
 	return s
@@ -251,17 +267,25 @@ func (s *Server) ensureGrid(k estimateKey, preAdmitted bool) (*core.Result, bool
 		if !ok {
 			return nil, fmt.Errorf("serve: unknown dataset %q", k.Dataset)
 		}
+		// Stream datasets go through the mutation-ordered path: the live
+		// window is snapshotted (no estimation) and caching is version-
+		// checked against concurrent ingests.
+		if st, ok := s.streams.get(k.Dataset); ok {
+			return s.streamResult(st, k)
+		}
 		s.met.estimations.Add(1)
 		s.met.estInflight.Add(1)
 		defer s.met.estInflight.Add(-1)
-		res, err := core.Estimate(k.Algorithm, ds.pts, k.Spec, core.Options{Threads: s.cfg.Threads})
+		res, err := core.Estimate(k.Algorithm, ds.points(), k.Spec, core.Options{Threads: s.cfg.Threads})
 		if err != nil {
 			return nil, err
 		}
-		evicted, cached := s.cache.put(k, res.Grid)
-		s.met.evictions.Add(int64(evicted))
-		if !cached {
-			s.met.uncacheable.Add(1)
+		// Cache only while the dataset is still registered: a stream
+		// deleted mid-estimation must not leave an orphaned entry keyed
+		// to an id no request can ever resolve again (deleteStream
+		// re-invalidates after deregistering to close the remaining gap).
+		if _, ok := s.reg.get(k.Dataset); ok {
+			s.cachePut(k, res.Grid)
 		}
 		return res, nil
 	})
@@ -269,6 +293,16 @@ func (s *Server) ensureGrid(k estimateKey, preAdmitted bool) (*core.Result, bool
 		return nil, false, err
 	}
 	return res, false, nil
+}
+
+// cachePut inserts a computed grid, folding in the eviction and
+// uncacheable accounting every fill path shares.
+func (s *Server) cachePut(k estimateKey, g *grid.Grid) {
+	evicted, cached := s.cache.put(k, g)
+	s.met.evictions.Add(int64(evicted))
+	if !cached {
+		s.met.uncacheable.Add(1)
+	}
 }
 
 // resultFromGrid wraps a cache hit in the Result shape the job and

@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// stream is one mutable (live-ingest) dataset: a registry entry whose
+// event set grows by POST /v1/datasets/{id}/events, paired with a
+// long-lived core.Updater that keeps the window density grid exact in
+// place — O(Δn·Hs²·Ht) per ingest instead of a full re-estimate. The
+// updater's ring is charged against the server's cache budget, so live
+// windows and cached cubes compete in one accounted pool.
+//
+// st.mu serializes mutations (ingest, advance) with version-checked cache
+// fills: a mutation invalidates the dataset's cached grids and query
+// indexes while holding the lock, and a fill re-checks the dataset version
+// under the same lock before publishing, so a stale cube can never outlive
+// the mutation that obsoleted it.
+type stream struct {
+	id   string
+	ds   *dataset
+	base grid.Spec // creation spec (OT == 0); requests resolve against it
+
+	mu      sync.Mutex
+	up      *core.Updater
+	deleted bool // set by deleteStream; every mutation checks it under mu
+}
+
+// windowSpec maps a request spec onto the live window: when the request
+// matches the stream's creation spec (requests always carry OT == 0), the
+// current window sub-spec — whose OT has followed every advance — is
+// substituted, so clients keep using the creation parameters while the
+// window slides.
+func (st *stream) windowSpec(req grid.Spec) (grid.Spec, bool) {
+	if req != st.base {
+		return grid.Spec{}, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.deleted {
+		return grid.Spec{}, false
+	}
+	return st.up.Spec(), true
+}
+
+// voxelDensity answers a query for (x, y, t) straight from the live window
+// ring when the spec is the current window and the location falls inside
+// it, returning the window time range from the same lock hold so the
+// response fields are mutually consistent. The boolean reports whether
+// the stream could answer; callers fall back to the exact evaluator
+// otherwise.
+func (st *stream) voxelDensity(spec grid.Spec, x, y, t float64) (density float64, vox [3]int, window [2]float64, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.deleted || spec != st.up.Spec() {
+		return 0, [3]int{}, [2]float64{}, false
+	}
+	// Inclusion form, so a NaN coordinate fails the guard instead of
+	// slipping past two exclusion comparisons (CoversT likewise rejects
+	// NaN t: its comparisons are all false).
+	d := spec.Domain
+	if !(x >= d.X0 && x < d.X0+d.GX && y >= d.Y0 && y < d.Y0+d.GY) || !spec.CoversT(t) {
+		return 0, [3]int{}, [2]float64{}, false
+	}
+	// CoversT holds, so VoxelOf's clamped layer is the true layer.
+	X, Y, T := spec.VoxelOf(grid.Point{X: x, Y: y, T: t})
+	t0, t1 := st.up.Window()
+	return st.up.At(X, Y, T), [3]int{X, Y, T}, [2]float64{t0, t1}, true
+}
+
+// window returns the continuous time range the live window covers — the
+// last known range once the stream is deleted (Updater.Window reads only
+// the spec, which survives Release, so a response racing a DELETE still
+// reports the real range).
+func (st *stream) window() (t0, t1 float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.up.Window()
+}
+
+// streamTable holds the server's live streams.
+type streamTable struct {
+	mu  sync.Mutex
+	m   map[string]*stream
+	seq atomic.Int64
+
+	// createMu serializes whole stream creations, making the MaxStreams
+	// check-then-create atomic without holding mu across the ring
+	// allocation (lookups stay uncontended).
+	createMu sync.Mutex
+}
+
+func newStreamTable() *streamTable {
+	return &streamTable{m: map[string]*stream{}}
+}
+
+// nextID allocates a stream id. Stream datasets are mutable, so their ids
+// are sequence-allocated, not content-addressed.
+func (t *streamTable) nextID() string {
+	return fmt.Sprintf("s%016x", t.seq.Add(1))
+}
+
+func (t *streamTable) get(id string) (*stream, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.m[id]
+	return st, ok
+}
+
+func (t *streamTable) put(st *stream) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[st.id] = st
+}
+
+func (t *streamTable) remove(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, id)
+}
+
+func (t *streamTable) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// pinnedBytes is the byte total of all live window rings (their specs
+// never resize, so the creation spec's size is exact).
+func (t *streamTable) pinnedBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum int64
+	for _, st := range t.m {
+		sum += st.base.Bytes()
+	}
+	return sum
+}
+
+// list returns the streams in id order.
+func (t *streamTable) list() []*stream {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*stream, 0, len(t.m))
+	for _, st := range t.m {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// createStream registers a new live stream on the given window spec. The
+// window ring is charged to the cache budget (evicting cached cubes to
+// make room); creation fails with grid.ErrMemoryBudget when the pinned
+// stream share would exceed half the budget.
+func (s *Server) createStream(spec grid.Spec) (*stream, error) {
+	s.streams.createMu.Lock()
+	defer s.streams.createMu.Unlock()
+	if n := s.streams.count(); n >= s.cfg.MaxStreams {
+		return nil, fmt.Errorf("serve: %d live streams already registered (limit %d); raise MaxStreams", n, s.cfg.MaxStreams)
+	}
+	// Stream rings are pinned for the server's lifetime, so cap their
+	// total share at half the cache budget: one oversized window must
+	// never permanently crowd every cached cube out of the LRU (and a
+	// doomed request must be rejected before evictFor flushes residents
+	// for nothing).
+	if limit := s.cache.budgetHandle().Limit(); limit > 0 {
+		if pinned := s.streams.pinnedBytes(); pinned+spec.Bytes() > limit/2 {
+			return nil, fmt.Errorf("serve: %w: stream window needs %d bytes with %d already pinned, over half the %d-byte cache budget; coarsen the spec or raise CacheBytes",
+				grid.ErrMemoryBudget, spec.Bytes(), pinned, limit)
+		}
+	}
+	// Charge the ring against the shared budget, evicting cached cubes to
+	// make room. A concurrent estimation's cache.put can steal freed room
+	// between the eviction and the allocation, so retry as long as
+	// eviction makes progress; the loop ends with the ring charged or the
+	// cache empty.
+	s.met.evictions.Add(int64(s.cache.evictFor(spec.Bytes())))
+	var up *core.Updater
+	for {
+		var err error
+		up, err = core.NewUpdater(spec, core.UpdaterConfig{Options: core.Options{
+			Threads: s.cfg.Threads,
+			Budget:  s.cache.budgetHandle(),
+		}})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, grid.ErrMemoryBudget) {
+			return nil, err
+		}
+		evicted := s.cache.evictFor(spec.Bytes())
+		s.met.evictions.Add(int64(evicted))
+		if evicted == 0 {
+			return nil, err
+		}
+	}
+	id := s.streams.nextID()
+	st := &stream{id: id, ds: s.reg.addStream(id), base: spec, up: up}
+	s.streams.put(st)
+	s.met.streams.Add(1)
+	return st, nil
+}
+
+// ingestChunk bounds how long st.mu is held during one ingest: a huge CSV
+// is applied in chunks so concurrent window reads and spec resolutions
+// stay responsive. Each chunk leaves a consistent events-so-far estimate.
+const ingestChunk = 4096
+
+// streamIngest appends events to a live stream: the window grid is updated
+// in place through the signed-weight apply path, the registry snapshot
+// grows, and every derived cache for the dataset (grids, exact-query
+// indexes) is invalidated under the stream lock.
+func (s *Server) streamIngest(st *stream, pts []grid.Point) (total int, err error) {
+	for len(pts) > 0 {
+		n := len(pts)
+		if n > ingestChunk {
+			n = ingestChunk
+		}
+		chunk := pts[:n]
+		pts = pts[n:]
+		st.mu.Lock()
+		if st.deleted {
+			st.mu.Unlock()
+			return total, errStreamDeleted
+		}
+		st.up.Add(chunk...)
+		total = st.ds.appendPoints(chunk)
+		s.invalidateStream(st)
+		s.met.streamEvents.Add(int64(n))
+		st.mu.Unlock()
+	}
+	return total, nil
+}
+
+// streamAdvance slides a stream's window forward to cover time t,
+// expiring events the window left behind. No-op (without invalidation)
+// when t is already covered.
+func (s *Server) streamAdvance(st *stream, t float64) (advanced, expired int, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.deleted {
+		return 0, 0, errStreamDeleted
+	}
+	advanced, expired = st.up.AdvanceTo(t)
+	if advanced > 0 {
+		st.ds.replacePoints(st.up.Live())
+		s.invalidateStream(st)
+		s.met.streamAdvances.Add(1)
+	}
+	return advanced, expired, nil
+}
+
+// errStreamDeleted rejects operations racing a stream deletion.
+var errStreamDeleted = fmt.Errorf("serve: stream has been deleted")
+
+// deleteStream tears a live stream down: the window ring's budget charge
+// is released, every derived cache is dropped, and both the stream slot
+// and the registry entry are freed for reuse. In-flight operations that
+// already hold the *stream pointer observe st.deleted under st.mu.
+func (s *Server) deleteStream(st *stream) {
+	st.mu.Lock()
+	if !st.deleted {
+		st.deleted = true
+		st.up.Release()
+		s.invalidateStream(st)
+		s.met.streams.Add(-1)
+	}
+	st.mu.Unlock()
+	s.streams.remove(st.id)
+	s.reg.remove(st.id)
+	// A racing fill may have published between the first invalidation and
+	// the deregistration (its registry check passed earlier); now that no
+	// request can resolve the id, drop whatever landed.
+	s.met.invalidations.Add(int64(s.cache.invalidateDataset(st.id)))
+}
+
+// invalidateStream drops the dataset's cached grids and query indexes.
+// Callers hold st.mu, which orders the invalidation against version-checked
+// cache fills.
+func (s *Server) invalidateStream(st *stream) {
+	n := s.cache.invalidateDataset(st.id)
+	n += s.reg.invalidateQueries(st.id)
+	s.met.invalidations.Add(int64(n))
+}
+
+// streamResult computes the density cube of a stream dataset for the key.
+// The stream's own window spec is served as an O(G) snapshot of the live
+// ring (no estimation); any other spec falls back to a batch estimate over
+// the current event snapshot. Either result is cached only if no mutation
+// raced it, checked under the stream lock.
+func (s *Server) streamResult(st *stream, k estimateKey) (*core.Result, error) {
+	st.mu.Lock()
+	if !st.deleted && k.Spec == st.up.Spec() {
+		// Take the O(G) ring copy outside st.mu (it is point-in-time
+		// consistent under the updater's own lock), so ingests and
+		// window reads are not stalled for the materialization; publish
+		// to the cache only if no mutation raced the copy.
+		v := st.ds.ver()
+		st.mu.Unlock()
+		g, err := st.up.Snapshot(nil)
+		if err != nil {
+			return nil, err
+		}
+		if g.Spec == k.Spec {
+			s.met.streamSnapshots.Add(1)
+			st.mu.Lock()
+			if !st.deleted && st.ds.ver() == v {
+				s.cachePut(k, g)
+			}
+			st.mu.Unlock()
+			return resultFromGrid(k, g), nil
+		}
+		// An advance raced the copy: the snapshot is a different window
+		// than the key asked for. Fall through to the batch path, which
+		// answers the requested sub-spec over the current live events.
+		st.mu.Lock()
+	}
+	pts := st.ds.points()
+	v := st.ds.ver()
+	st.mu.Unlock()
+
+	s.met.estimations.Add(1)
+	res, err := func() (*core.Result, error) {
+		s.met.estInflight.Add(1)
+		defer s.met.estInflight.Add(-1) // panic-safe, like ensureGrid's path
+		return core.Estimate(k.Algorithm, pts, k.Spec, core.Options{Threads: s.cfg.Threads})
+	}()
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.deleted && st.ds.ver() == v { // no mutation raced the estimation
+		s.cachePut(k, res.Grid)
+	}
+	return res, nil
+}

@@ -1,0 +1,621 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gio"
+	"repro/internal/grid"
+)
+
+// streamTestDomain is the creation window of the stream fixtures: 20
+// temporal layers that the tests slide past the creation extent.
+var streamTestDomain = grid.Domain{GX: 40, GY: 30, GT: 20}
+
+func streamTestSpec(t *testing.T) grid.Spec {
+	t.Helper()
+	spec, err := grid.NewSpec(streamTestDomain, 2, 1, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// createStream creates a live stream over streamTestDomain and returns its
+// dataset id.
+func createStream(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	body := `{"sres":2,"tres":1,"hs":6,"ht":3,
+		"domain":{"x0":0,"y0":0,"t0":0,"gx":40,"gy":30,"gt":20}}`
+	resp, err := http.Post(ts.URL+"/v1/streams", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sj streamJSON
+	decodeBody(t, resp, &sj)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create stream status %d: %+v", resp.StatusCode, sj)
+	}
+	if !sj.Stream || sj.Dataset == "" {
+		t.Fatalf("create stream returned %+v", sj)
+	}
+	return sj.Dataset
+}
+
+// postEvents ingests events into a stream and returns the response.
+func postEvents(t *testing.T, ts *httptest.Server, id string, pts []grid.Point) streamJSON {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gio.WritePoints(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/datasets/"+id+"/events", "text/csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sj streamJSON
+	decodeBody(t, resp, &sj)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest events status %d: %+v", resp.StatusCode, sj)
+	}
+	return sj
+}
+
+// advance slides a stream's window and returns the response.
+func advance(t *testing.T, ts *httptest.Server, id string, to float64) streamJSON {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/datasets/"+id+"/advance", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"t":%g}`, to)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sj streamJSON
+	decodeBody(t, resp, &sj)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advance status %d: %+v", resp.StatusCode, sj)
+	}
+	return sj
+}
+
+// streamEvents draws deterministic events around time t inside the stream
+// domain.
+func streamEvents(n int, around float64, seed uint64) []grid.Point {
+	pts := make([]grid.Point, n)
+	state := seed*2654435761 + 1
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>33) / float64(1<<31)
+	}
+	for i := range pts {
+		pts[i] = grid.Point{
+			X: next() * streamTestDomain.GX,
+			Y: next() * streamTestDomain.GY,
+			T: around - 2 + 4*next(),
+		}
+	}
+	return pts
+}
+
+// queryDensity hits /v1/query and returns density and source.
+func queryDensity(t *testing.T, ts *httptest.Server, id string, x, y, tm float64) (float64, string) {
+	t.Helper()
+	url := fmt.Sprintf("%s/v1/query?dataset=%s&sres=2&tres=1&hs=6&ht=3&x=%g&y=%g&t=%g",
+		ts.URL, id, x, y, tm)
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Density float64 `json:"density"`
+		Source  string  `json:"source"`
+		Error   string  `json:"error"`
+	}
+	decodeBody(t, resp, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, out.Error)
+	}
+	return out.Density, out.Source
+}
+
+// TestStreamLifecycle walks the whole live path: create, ingest, query the
+// in-place window against a batch estimate, slide the window past the
+// creation domain, and query both inside and behind the moved window.
+func TestStreamLifecycle(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	id := createStream(t, ts)
+
+	pts := append(streamEvents(120, 6, 1), streamEvents(120, 14, 2)...)
+	sj := postEvents(t, ts, id, pts)
+	if sj.Points != len(pts) || sj.Added != len(pts) {
+		t.Fatalf("ingest reported %+v, want points=added=%d", sj, len(pts))
+	}
+
+	// The live window must agree with a fresh batch estimate everywhere.
+	spec := streamTestSpec(t)
+	batch, err := core.Estimate(core.AlgPBSYM, pts, spec, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vox := range [][3]int{{3, 4, 5}, {10, 7, 12}, {0, 0, 0}, {spec.Gx - 1, spec.Gy - 1, spec.Gt - 1}} {
+		x, y, tm := spec.CenterX(vox[0]), spec.CenterY(vox[1]), spec.CenterT(vox[2])
+		got, source := queryDensity(t, ts, id, x, y, tm)
+		if source != "stream" {
+			t.Fatalf("query at %v served from %q, want stream", vox, source)
+		}
+		if want := batch.Grid.At(vox[0], vox[1], vox[2]); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("live density at %v = %g, batch = %g", vox, got, want)
+		}
+	}
+
+	// Region mass over the whole window: the snapshot path, compared to
+	// the batch grid.
+	resp, err := http.Get(ts.URL + "/v1/region?dataset=" + id + "&sres=2&tres=1&hs=6&ht=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var region struct {
+		Mass  float64 `json:"mass"`
+		Error string  `json:"error"`
+	}
+	decodeBody(t, resp, &region)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("region status %d: %s", resp.StatusCode, region.Error)
+	}
+	if want := batch.Grid.BoxMass(spec.Bounds()); math.Abs(region.Mass-want) > 1e-9 {
+		t.Fatalf("region mass = %g, batch = %g", region.Mass, want)
+	}
+	if got := s.met.streamSnapshots.Value(); got == 0 {
+		t.Fatal("region did not use the stream snapshot path")
+	}
+
+	// Slide the window 10 layers forward (past half the creation domain).
+	adv := advance(t, ts, id, 29)
+	if adv.Advanced != 10 {
+		t.Fatalf("advanced %d layers, want 10 (%+v)", adv.Advanced, adv)
+	}
+	if adv.Window != [2]float64{10, 30} {
+		t.Fatalf("window = %v, want [10 30)", adv.Window)
+	}
+	if adv.Expired == 0 || adv.Points >= len(pts) {
+		t.Fatalf("no events expired on a 10-layer advance: %+v", adv)
+	}
+
+	// Inside the moved window — including times beyond the creation
+	// domain — queries come from the ring and match a batch estimate over
+	// the survivors on the advanced sub-spec.
+	st, _ := s.streams.get(id)
+	live := st.up.Live()
+	wspec := st.up.Spec()
+	batch2, err := core.Estimate(core.AlgPBSYM, live, wspec, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vox := range [][3]int{{5, 5, 2}, {8, 6, wspec.Gt - 1}} {
+		x, y, tm := wspec.CenterX(vox[0]), wspec.CenterY(vox[1]), wspec.CenterT(vox[2])
+		got, source := queryDensity(t, ts, id, x, y, tm)
+		if source != "stream" {
+			t.Fatalf("in-window query at t=%g served from %q, want stream", tm, source)
+		}
+		if want := batch2.Grid.At(vox[0], vox[1], vox[2]); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("post-advance density at %v = %g, batch = %g", vox, got, want)
+		}
+	}
+
+	// Behind the window the ring cannot answer; the exact evaluator over
+	// the live events takes over.
+	if _, source := queryDensity(t, ts, id, 20, 15, 5); source != "exact" {
+		t.Fatalf("behind-window query served from %q, want exact", source)
+	}
+
+	// Regression: even with the advanced window's snapshot resident in
+	// the grid cache (warmed by /v1/region), a behind-window time must
+	// not be served from it — VoxelOf would clamp the stale time onto
+	// the window's first layer.
+	resp, err = http.Get(ts.URL + "/v1/region?dataset=" + id + "&sres=2&tres=1&hs=6&ht=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got, source := queryDensity(t, ts, id, 20, 15, 5)
+	if source != "exact" {
+		t.Fatalf("behind-window query with resident snapshot served from %q, want exact", source)
+	}
+	idx := core.NewQuery(live, wspec, core.Options{})
+	if want := idx.At(20, 15, 5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("behind-window density = %g, exact evaluator = %g", got, want)
+	}
+}
+
+// TestStreamIngestInvalidatesExactly: mutating a stream drops exactly the
+// affected dataset's cached grids and query indexes — a static dataset's
+// stay resident.
+func TestStreamIngestInvalidatesExactly(t *testing.T) {
+	s, ts, staticID := testServer(t, Config{})
+	streamID := createStream(t, ts)
+	postEvents(t, ts, streamID, streamEvents(80, 10, 3))
+
+	// Cache a grid for both datasets via the region endpoint.
+	for _, params := range []string{
+		specParams(staticID, "pb-sym"),
+		"dataset=" + streamID + "&algorithm=pb-sym&sres=2&tres=1&hs=6&ht=3",
+	} {
+		resp, err := http.Get(ts.URL + "/v1/region?" + params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("region warmup status %d for %s", resp.StatusCode, params)
+		}
+	}
+	// Build an exact-query index for both (exact=1 forces it).
+	for _, params := range []string{
+		specParams(staticID, "pb-sym"),
+		"dataset=" + streamID + "&algorithm=pb-sym&sres=2&tres=1&hs=6&ht=3",
+	} {
+		resp, err := http.Get(ts.URL + "/v1/query?" + params + "&x=10&y=10&t=10&exact=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("exact warmup status %d for %s", resp.StatusCode, params)
+		}
+	}
+
+	countEntries := func(id string) (grids, queries int) {
+		s.cache.mu.Lock()
+		for k := range s.cache.entries {
+			if k.Dataset == id {
+				grids++
+			}
+		}
+		s.cache.mu.Unlock()
+		s.reg.mu.RLock()
+		for k := range s.reg.queries {
+			if k.Dataset == id {
+				queries++
+			}
+		}
+		s.reg.mu.RUnlock()
+		return grids, queries
+	}
+	if g, q := countEntries(staticID); g == 0 || q == 0 {
+		t.Fatalf("static warmup missing: grids=%d queries=%d", g, q)
+	}
+	if g, q := countEntries(streamID); g == 0 || q == 0 {
+		t.Fatalf("stream warmup missing: grids=%d queries=%d", g, q)
+	}
+
+	postEvents(t, ts, streamID, streamEvents(10, 12, 4))
+
+	if g, q := countEntries(streamID); g != 0 || q != 0 {
+		t.Fatalf("stream caches survived ingest: grids=%d queries=%d", g, q)
+	}
+	if g, q := countEntries(staticID); g == 0 || q == 0 {
+		t.Fatalf("ingest into the stream evicted the static dataset: grids=%d queries=%d", g, q)
+	}
+	if s.met.invalidations.Value() == 0 {
+		t.Fatal("invalidation metric not incremented")
+	}
+}
+
+// TestQueryIndexFIFOEviction: the exact-query index cache drops its oldest
+// entries once maxQueryIndexes is reached.
+func TestQueryIndexFIFOEviction(t *testing.T) {
+	s := New(Config{})
+	ds, _ := s.reg.add(testPoints(60, 5))
+	var keys []queryKey
+	for i := 0; i < maxQueryIndexes+5; i++ {
+		spec, err := grid.NewSpec(testDomain, 2, 1, 10+float64(i), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.reg.queryIndex(ds, spec); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, queryKey{Dataset: ds.id, Spec: spec})
+	}
+	s.reg.mu.RLock()
+	defer s.reg.mu.RUnlock()
+	if len(s.reg.queries) != maxQueryIndexes {
+		t.Fatalf("index cache holds %d entries, want %d", len(s.reg.queries), maxQueryIndexes)
+	}
+	if len(s.reg.queryOrder) != maxQueryIndexes {
+		t.Fatalf("queryOrder holds %d entries, want %d", len(s.reg.queryOrder), maxQueryIndexes)
+	}
+	for i, k := range keys {
+		_, resident := s.reg.queries[k]
+		if wantResident := i >= 5; resident != wantResident {
+			t.Fatalf("index %d resident=%v, want %v (FIFO eviction)", i, resident, wantResident)
+		}
+	}
+}
+
+// TestStreamMutationRejectedForStaticDatasets: content-addressed datasets
+// are immutable.
+func TestStreamMutationRejectedForStaticDatasets(t *testing.T) {
+	_, ts, staticID := testServer(t, Config{})
+	var buf bytes.Buffer
+	if err := gio.WritePoints(&buf, streamEvents(5, 10, 6)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/datasets/"+staticID+"/events", "text/csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mutating a static dataset returned %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+	resp, err = http.Post(ts.URL+"/v1/datasets/nope/events", "text/csv", strings.NewReader("1,2,3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("mutating an unknown dataset returned %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStreamDeletion: DELETE /v1/datasets/{id} releases the window ring's
+// budget charge, drops every derived cache, frees the MaxStreams slot, and
+// makes further mutations 404.
+func TestStreamDeletion(t *testing.T) {
+	s := New(Config{MaxStreams: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	id := createStream(t, ts)
+	postEvents(t, ts, id, streamEvents(60, 10, 11))
+
+	// Warm a cached grid so deletion has something to invalidate.
+	resp, err := http.Get(ts.URL + "/v1/region?dataset=" + id + "&sres=2&tres=1&hs=6&ht=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	_, before, _ := s.cache.stats()
+	if before == 0 {
+		t.Fatal("warmup cached nothing")
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/datasets/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d, want 204", resp.StatusCode)
+	}
+	if _, bytes, _ := s.cache.stats(); bytes != 0 {
+		t.Fatalf("budget still charged %d bytes after deletion (ring or cached grids leaked)", bytes)
+	}
+	if s.streams.count() != 0 {
+		t.Fatal("stream slot not freed")
+	}
+	if _, ok := s.reg.get(id); ok {
+		t.Fatal("dataset still registered after deletion")
+	}
+
+	// Mutations on the dead id 404; the MaxStreams=1 slot is reusable.
+	var buf bytes.Buffer
+	if err := gio.WritePoints(&buf, streamEvents(2, 10, 12)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/datasets/"+id+"/events", "text/csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ingest into deleted stream returned %d, want 404", resp.StatusCode)
+	}
+	createStream(t, ts)
+}
+
+// TestNonFiniteEventsRejected: "NaN"/"Inf" parse as floats, but one such
+// event would poison every derived density (for a stream, permanently —
+// compaction re-applies it), so both ingestion paths reject them. A NaN
+// query coordinate likewise must not slip past the stream fast path onto
+// a clamped voxel.
+func TestNonFiniteEventsRejected(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	id := createStream(t, ts)
+	postEvents(t, ts, id, streamEvents(20, 5, 13))
+
+	for _, path := range []string{"/v1/datasets", "/v1/datasets/" + id + "/events"} {
+		for _, body := range []string{"NaN,5,5\n", "5,+Inf,5\n", "5,5,-Inf\n"} {
+			resp, err := http.Post(ts.URL+path, "text/csv", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("POST %s with %q returned %d, want 400", path, strings.TrimSpace(body), resp.StatusCode)
+			}
+		}
+	}
+	// The stream is unpoisoned and NaN query coordinates fall back to the
+	// exact evaluator (which yields 0), never a clamped stream voxel.
+	if d, source := queryDensity(t, ts, id, math.NaN(), 5, 5); source == "stream" || d != 0 {
+		t.Fatalf("NaN-x query returned (%g, %q), want (0, exact)", d, source)
+	}
+}
+
+// TestStreamCreationValidation: missing domain and the MaxStreams cap are
+// rejected.
+func TestStreamCreationValidation(t *testing.T) {
+	s := New(Config{MaxStreams: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/streams", "application/json",
+		strings.NewReader(`{"sres":2,"tres":1,"hs":6,"ht":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("domainless stream returned %d, want 400", resp.StatusCode)
+	}
+
+	createStream(t, ts)
+	resp, err = http.Post(ts.URL+"/v1/streams", "application/json",
+		strings.NewReader(`{"sres":2,"tres":1,"hs":6,"ht":3,
+			"domain":{"x0":0,"y0":0,"t0":0,"gx":40,"gy":30,"gt":20}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-limit stream returned %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStreamConcurrentIngestAndQuery hammers one stream with concurrent
+// ingests, window reads, and snapshot estimations; the race detector (CI
+// runs the suite with -race) and a final batch comparison close the loop.
+func TestStreamConcurrentIngestAndQuery(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	id := createStream(t, ts)
+	postEvents(t, ts, id, streamEvents(50, 8, 7))
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() { // ingest workers
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				pts := streamEvents(10, float64(5+i), uint64(100+10*w+i))
+				var buf bytes.Buffer
+				if err := gio.WritePoints(&buf, pts); err != nil {
+					errc <- err
+					return
+				}
+				resp, err := http.Post(ts.URL+"/v1/datasets/"+id+"/events", "text/csv", &buf)
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("ingest status %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() { // query + region workers
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				url := fmt.Sprintf("%s/v1/query?dataset=%s&sres=2&tres=1&hs=6&ht=3&x=%d&y=%d&t=%d",
+					ts.URL, id, 5+i%30, 5+i%20, i%20)
+				resp, err := http.Get(url)
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("query status %d", resp.StatusCode)
+				}
+				if i%5 == 0 {
+					resp, err := http.Get(ts.URL + "/v1/region?dataset=" + id + "&sres=2&tres=1&hs=6&ht=3")
+					if err != nil {
+						errc <- err
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Quiesced stream must equal a batch estimate over its live events.
+	st, _ := s.streams.get(id)
+	live := st.up.Live()
+	spec := st.up.Spec()
+	batch, err := core.Estimate(core.AlgPBSYM, live, spec, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.up.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap.Data {
+		if math.Abs(snap.Data[i]-batch.Grid.Data[i]) > 1e-9 {
+			t.Fatalf("voxel %d drifted from batch after concurrent ingest", i)
+		}
+	}
+}
+
+// TestStreamStaleSnapshotNotCached: an estimation that races an ingest
+// must not publish its stale grid into the cache.
+func TestStreamStaleSnapshotNotCached(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	id := createStream(t, ts)
+	postEvents(t, ts, id, streamEvents(40, 10, 8))
+
+	st, _ := s.streams.get(id)
+	// Ask for a non-window spec so streamResult takes the batch path, and
+	// mutate the stream while the estimation runs. st.mu ordering
+	// guarantees either the ingest lands first (version check fails,
+	// nothing cached) or after (cache invalidated again).
+	spec, err := grid.NewSpec(streamTestDomain, 4, 2, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := estimateKey{Dataset: id, Spec: spec, Algorithm: core.AlgPBSYM}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postEvents(t, ts, id, streamEvents(10, 11, 9))
+	}()
+	if _, _, err := s.ensureGrid(k, false); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// Whatever the interleaving, a resident grid now must reflect the
+	// current version: re-request and compare against a fresh batch.
+	res, _, err := s.ensureGrid(k, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := core.Estimate(core.AlgPBSYM, st.ds.points(), spec, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Grid.Data {
+		if math.Abs(res.Grid.Data[i]-batch.Grid.Data[i]) > 1e-9 {
+			t.Fatalf("cached stream grid is stale at voxel %d", i)
+		}
+	}
+}

@@ -15,6 +15,29 @@ func NewAccumulator(spec Spec, opt Options) (*Accumulator, error) {
 	return core.NewAccumulator(spec, opt)
 }
 
+// Stream is the sliding-window streaming estimator (core.Updater): a
+// long-lived engine owning a temporal ring-buffer window of density that
+// stays exact under Add (fold events in, O(Hs²·Ht) each), Remove (retract
+// with the bitwise-exact signed-weight negation), and AdvanceTo (slide the
+// window forward by whole voxel layers — an O(1) ring rotation plus
+// zeroing only the freed layers, expiring events the window leaves
+// behind). Drift from floating-point cancellation is tracked by a running
+// residual bound; crossing it (or every StreamConfig.CompactEvery
+// mutations) triggers a full re-estimate of the live events.
+type Stream = core.Updater
+
+// StreamConfig configures a Stream (kernels, budget, drift control).
+type StreamConfig = core.UpdaterConfig
+
+// StreamStats reports a Stream's live count, work and drift counters.
+type StreamStats = core.UpdaterStats
+
+// NewStream creates an empty sliding-window estimator whose window is the
+// temporal extent of spec; AdvanceTo slides it forward from there.
+func NewStream(spec Spec, cfg StreamConfig) (*Stream, error) {
+	return core.NewUpdater(spec, cfg)
+}
+
 // Query answers exact density queries at arbitrary continuous space-time
 // coordinates without building a grid, using bandwidth-block indexing.
 type Query = core.Query

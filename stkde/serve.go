@@ -7,7 +7,10 @@ import (
 
 // Density serving (the cmd/stkded daemon): a long-running HTTP subsystem
 // that ingests datasets, caches estimated density cubes, coalesces
-// identical requests, and answers voxel/region/hotspot queries. See
+// identical requests, and answers voxel/region/hotspot queries. Mutable
+// stream datasets (POST /v1/streams, then /v1/datasets/{id}/events and
+// /v1/datasets/{id}/advance) keep a sliding window grid updated in place
+// through a Stream, with exact invalidation of derived caches. See
 // repro/internal/serve for the endpoint reference.
 type (
 	// ServeConfig configures a DensityServer (cache bytes, worker pool,
