@@ -13,9 +13,13 @@
 // The "stream" experiment measures the streaming update path: the
 // per-event cost and sustained events/sec of folding single events into a
 // live core.Updater window, the cost of a one-layer window advance, and
-// the speedup over the full batch recompute each ingest replaces. With
-// -json it emits the stkde-bench/v1 trajectory committed as
-// BENCH_stream.json. (-experiment is an alias for -exp.)
+// the speedup over the full batch recompute each ingest replaces. The
+// "analytics" experiment measures region-mass and top-k hotspot query
+// latency: the naive O(G) grid scans versus the summed-volume pyramid on
+// static grids, and the O(G) snapshot path versus the incremental ring
+// sketch on live streams. With -json they emit the stkde-bench/v1
+// trajectories committed as BENCH_stream.json and BENCH_analytics.json.
+// (-experiment is an alias for -exp.)
 package main
 
 import (

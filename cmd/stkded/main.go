@@ -24,11 +24,17 @@
 //	GET  /v1/jobs/{id}   job status, timings, peak and mass when done
 //	GET  /v1/query       density at (x,y,t): live stream window, cached
 //	                     voxel, or exact fallback
-//	GET  /v1/region      probability mass of a voxel box
-//	GET  /v1/hotspots    top-k densest voxels
+//	GET  /v1/region      probability mass of a voxel box — O(1) from the
+//	                     summed-volume pyramid on static grids, and from
+//	                     the incremental window sketch on live streams
+//	                     (no O(G) snapshot); responses carry "source":
+//	                     "sketch", or "grid" for the exact fallback
+//	GET  /v1/hotspots    top-k densest voxels, pruned by block maxima on
+//	                     both static grids and live windows
 //	GET  /healthz        liveness, stream count and cache occupancy
 //	GET  /debug/vars     expvar metrics (cache hits/misses, stream
-//	                     ingest/advance counters, latency p50/p99)
+//	                     ingest/advance counters, sketch_hits /
+//	                     sketch_rebuilds, latency p50/p99)
 //
 // SIGINT/SIGTERM drain the HTTP listener and in-flight estimations before
 // exiting.

@@ -47,4 +47,14 @@
 // whose grids are updated in place, and the "stream" experiment of
 // cmd/stkdebench records the ingest-vs-recompute trajectory in
 // BENCH_stream.json.
+//
+// Analytics over the volume are sublinear: grid.Pyramid (the public
+// stkde.NewPyramid) holds a 3-D summed-volume table answering box masses
+// with an O(1) 8-corner lookup plus block maxima that prune top-k and
+// threshold scans to the blocks that can still matter, and grid.RingSketch
+// maintains the same aggregates incrementally inside a live stream's ring
+// (per-event dirty bandwidth boxes, lazily rebuilt at query time), so the
+// serving tier's /v1/region and /v1/hotspots answer from sketches on both
+// static grids and live windows — the "analytics" experiment of
+// cmd/stkdebench records the trajectory in BENCH_analytics.json.
 package repro

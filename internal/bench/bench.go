@@ -22,6 +22,10 @@
 //	stream  streaming-update trajectory: sustained single-event ingest
 //	        through core.Updater vs the full recompute it replaces
 //	        (the committed BENCH_stream.json record)
+//	analytics  region/hotspot query latency: naive O(G) grid scans vs the
+//	        summed-volume pyramid on static grids and the snapshot path
+//	        vs the incremental ring sketch on live streams (the committed
+//	        BENCH_analytics.json record)
 //
 // Absolute times differ from the paper's 2x8-core Xeon; the harness aims to
 // reproduce the qualitative shape: which algorithm wins where, the rough
@@ -149,7 +153,7 @@ type Report struct {
 func Experiments() []string {
 	return []string{"table2", "table3", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "dist", "serve",
-		"kernels", "stream"}
+		"kernels", "stream", "analytics"}
 }
 
 // Run executes the named experiment.
@@ -187,6 +191,8 @@ func Run(exp string, cfg Config) (*Report, error) {
 		return h.kernelsExp()
 	case "stream":
 		return h.streamExp()
+	case "analytics":
+		return h.analyticsExp()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)",
 		exp, strings.Join(Experiments(), ", "))

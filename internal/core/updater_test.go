@@ -65,6 +65,33 @@ func checkUpdater(t *testing.T, tag string, u *Updater, mirror []grid.Point) {
 		}
 	}
 
+	// The incremental analytics sketch must agree with the O(G) snapshot
+	// scans at every interleaving point: TopK selections exactly (the
+	// candidate values are bitwise the snapshot's), BoxMass to <= 1e-9.
+	top, err := u.TopK(7)
+	if err != nil {
+		t.Fatalf("%s: sketch TopK: %v", tag, err)
+	}
+	wantTop := snap.TopK(7)
+	if len(top) != len(wantTop) {
+		t.Fatalf("%s: sketch TopK returned %d voxels, snapshot %d", tag, len(top), len(wantTop))
+	}
+	for i := range wantTop {
+		if top[i] != wantTop[i] {
+			t.Fatalf("%s: sketch TopK rank %d = %+v, snapshot %+v", tag, i, top[i], wantTop[i])
+		}
+	}
+	for _, box := range []grid.Box{spec.Bounds(), {X0: 2, X1: 9, Y0: 1, Y1: 7, T0: 3, T1: spec.Gt - 2}} {
+		got, err := u.BoxMass(box)
+		if err != nil {
+			t.Fatalf("%s: sketch BoxMass: %v", tag, err)
+		}
+		want := snap.BoxMass(box)
+		if d := math.Abs(got - want); d > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("%s: sketch BoxMass(%+v) = %g, snapshot %g (diff %g)", tag, box, got, want, d)
+		}
+	}
+
 	// NormN=1 makes the batch fold exactly the updater's unnormalized
 	// 1/(hs^2*ht) weight, so the raw volumes are directly comparable.
 	rawBatch, err := Estimate(AlgPBSYM, mirror, spec, Options{Threads: 1, NormN: 1})
@@ -305,6 +332,46 @@ func TestUpdaterWindowTracksAdvance(t *testing.T) {
 		t.Fatalf("live = %v, want [%v]", live, late)
 	}
 	checkUpdater(t, "after advance", u, []grid.Point{early, late})
+}
+
+// TestUpdaterSketchBudget: the analytics sketch attaches lazily on the
+// first TopK/BoxMass, is charged to the updater's budget, and reports the
+// budget failure instead of scanning when it cannot fit.
+func TestUpdaterSketchBudget(t *testing.T) {
+	spec := updaterSpec(t)
+	tight := grid.NewBudget(spec.Bytes()) // room for the ring only
+	u, err := NewUpdater(spec, UpdaterConfig{Options: Options{Budget: tight}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Release()
+	u.Add(testPoints(10, spec.Domain, 3)...)
+	if _, err := u.TopK(5); err == nil {
+		t.Fatal("sketch fit in a ring-only budget")
+	}
+	if u.SketchRebuilds() != 0 {
+		t.Fatal("failed sketch enable left a rebuild count")
+	}
+
+	roomy := grid.NewBudget(spec.Bytes() + grid.RingSketchBytes(spec))
+	u2, err := NewUpdater(spec, UpdaterConfig{Options: Options{Budget: roomy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2.Add(testPoints(10, spec.Domain, 3)...)
+	if _, err := u2.TopK(5); err != nil {
+		t.Fatalf("sketch did not fit in an exact budget: %v", err)
+	}
+	if got, want := roomy.Used(), spec.Bytes()+grid.RingSketchBytes(spec); got != want {
+		t.Fatalf("budget used = %d, want %d", got, want)
+	}
+	if u2.SketchRebuilds() == 0 {
+		t.Fatal("first analytics query rebuilt no blocks")
+	}
+	u2.Release()
+	if roomy.Used() != 0 {
+		t.Fatalf("budget used after Release = %d, want 0 (sketch charge leaked)", roomy.Used())
+	}
 }
 
 // TestUpdaterBudget: the window ring is charged to the configured budget

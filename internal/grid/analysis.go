@@ -1,13 +1,22 @@
 package grid
 
 import (
-	"container/heap"
 	"fmt"
+
+	"repro/internal/par"
 )
 
 // Analysis helpers for the visualization pipeline the paper's introduction
 // describes: once the 3-D density volume exists, analysts slice it, project
-// it, and aggregate it interactively.
+// it, and aggregate it interactively. The O(G) scans are parallelized with
+// par blocks, partitioned over *output* cells so every cell accumulates its
+// sum in exactly the sequential order — the results are bitwise identical
+// to a single-threaded pass regardless of worker count.
+
+// minAnalysisBlock is the smallest number of input voxels worth handing to
+// an analysis worker; below it goroutine startup dominates the streaming
+// reads (same reasoning as minTouchBlock, but these bodies do arithmetic).
+const minAnalysisBlock = 1 << 14
 
 // SliceT returns a copy of temporal layer T as a flat Gx*Gy array (Y
 // innermost), the per-day heatmap of Figure 1.
@@ -17,53 +26,63 @@ func (g *Grid) SliceT(T int) ([]float64, error) {
 		return nil, fmt.Errorf("grid: slice %d outside [0, %d)", T, s.Gt)
 	}
 	out := make([]float64, s.Gx*s.Gy)
-	for X := 0; X < s.Gx; X++ {
-		for Y := 0; Y < s.Gy; Y++ {
-			out[X*s.Gy+Y] = g.At(X, Y, T)
+	// Each X iteration copies one Gy-long column of the layer, so the
+	// min-block divisor is Gy (not Gy*Gt): small slices stay sequential.
+	par.BlocksMin(0, s.Gx, 1+minAnalysisBlock/s.Gy, func(_, lo, hi int) {
+		for X := lo; X < hi; X++ {
+			for Y := 0; Y < s.Gy; Y++ {
+				out[X*s.Gy+Y] = g.At(X, Y, T)
+			}
 		}
-	}
+	})
 	return out, nil
 }
 
 // TemporalProfile returns the spatially integrated density per time layer:
 // profile[T] = sum over X,Y of density * sres^2. It is the epidemic curve
 // of the dataset (integrates to ~1 over time when multiplied by tres).
+// Workers partition the output layers, so every layer's sum runs over the
+// (X, Y) rows in the exact sequential order.
 func (g *Grid) TemporalProfile() []float64 {
 	s := g.Spec
 	out := make([]float64, s.Gt)
 	cell := s.SRes * s.SRes
-	for X := 0; X < s.Gx; X++ {
-		for Y := 0; Y < s.Gy; Y++ {
-			row := g.Data[g.Idx(X, Y, 0) : g.Idx(X, Y, 0)+s.Gt]
-			for T, v := range row {
-				out[T] += v * cell
+	rows := s.Gx * s.Gy
+	par.BlocksMin(0, s.Gt, 1+minAnalysisBlock/rows, func(_, tlo, thi int) {
+		for r := 0; r < rows; r++ {
+			row := g.Data[r*s.Gt : (r+1)*s.Gt]
+			for T := tlo; T < thi; T++ {
+				out[T] += row[T] * cell
 			}
 		}
-	}
+	})
 	return out
 }
 
 // SpatialDensity returns the temporally integrated density per spatial
 // cell: out[X*Gy+Y] = sum over T of density * tres. It is the classic 2-D
-// KDE heatmap implied by the space-time estimate.
+// KDE heatmap implied by the space-time estimate. Workers partition the
+// output cells (whole rows), so every cell's sum runs along T in the exact
+// sequential order.
 func (g *Grid) SpatialDensity() []float64 {
 	s := g.Spec
 	out := make([]float64, s.Gx*s.Gy)
-	for X := 0; X < s.Gx; X++ {
-		for Y := 0; Y < s.Gy; Y++ {
-			row := g.Data[g.Idx(X, Y, 0) : g.Idx(X, Y, 0)+s.Gt]
+	par.BlocksMin(0, s.Gx*s.Gy, 1+minAnalysisBlock/s.Gt, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := g.Data[r*s.Gt : (r+1)*s.Gt]
 			sum := 0.0
 			for _, v := range row {
 				sum += v
 			}
-			out[X*s.Gy+Y] = sum * s.TRes
+			out[r] = sum * s.TRes
 		}
-	}
+	})
 	return out
 }
 
 // BoxMass integrates the density over a voxel box (sum * sres^2 * tres):
-// the estimated probability mass of the space-time region.
+// the estimated probability mass of the space-time region. It is the O(box)
+// reference scan; build a Pyramid for the O(1) summed-volume answer.
 func (g *Grid) BoxMass(b Box) float64 {
 	s := g.Spec
 	b = b.Clip(s.Bounds())
@@ -142,25 +161,104 @@ type voxelCandidate struct {
 	v   float64
 }
 
-// voxelMinHeap orders candidates by ascending density so the root is the
-// weakest retained hotspot; ties break toward keeping the lower flat
-// index, making the selection deterministic.
-type voxelMinHeap []voxelCandidate
-
-func (h voxelMinHeap) Len() int { return len(h) }
-func (h voxelMinHeap) Less(i, j int) bool {
-	if h[i].v != h[j].v {
-		return h[i].v < h[j].v
-	}
-	return h[i].idx > h[j].idx
+// topKSelector is a concrete, non-allocating min-heap of the k best
+// candidates seen so far under the total order "higher density first, ties
+// toward the lower flat index". The root is the weakest retained candidate
+// (the floor), so a full selector rejects most offers with one comparison.
+// Because the order is total, the selected set — and therefore the drained
+// output — is independent of the order candidates are offered in, which is
+// what lets the Pyramid and RingSketch visit voxels block by block and
+// still match the sequential scan exactly.
+type topKSelector struct {
+	c []voxelCandidate
+	k int
 }
-func (h voxelMinHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *voxelMinHeap) Push(x any)   { *h = append(*h, x.(voxelCandidate)) }
-func (h *voxelMinHeap) Pop() (x any) { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
+
+func newTopKSelector(k int) topKSelector {
+	return topKSelector{c: make([]voxelCandidate, 0, k), k: k}
+}
+
+// outranks reports whether candidate a ranks strictly above b.
+func (a voxelCandidate) outranks(b voxelCandidate) bool {
+	if a.v != b.v {
+		return a.v > b.v
+	}
+	return a.idx < b.idx
+}
+
+// full reports whether k candidates are retained (the floor is meaningful).
+func (h *topKSelector) full() bool { return len(h.c) == h.k }
+
+// floor returns the weakest retained candidate; only valid when full.
+func (h *topKSelector) floor() voxelCandidate { return h.c[0] }
+
+// offer considers one candidate, keeping the selector at the k best.
+func (h *topKSelector) offer(idx int, v float64) {
+	cand := voxelCandidate{idx: idx, v: v}
+	if len(h.c) < h.k {
+		h.c = append(h.c, cand)
+		h.siftUp(len(h.c) - 1)
+		return
+	}
+	if !cand.outranks(h.c[0]) {
+		return
+	}
+	h.c[0] = cand
+	h.siftDown(0)
+}
+
+func (h *topKSelector) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.c[p].outranks(h.c[i]) { // parent already weaker or equal
+			return
+		}
+		h.c[p], h.c[i] = h.c[i], h.c[p]
+		i = p
+	}
+}
+
+func (h *topKSelector) siftDown(i int) {
+	n := len(h.c)
+	for {
+		weakest := i
+		if l := 2*i + 1; l < n && h.c[weakest].outranks(h.c[l]) {
+			weakest = l
+		}
+		if r := 2*i + 2; r < n && h.c[weakest].outranks(h.c[r]) {
+			weakest = r
+		}
+		if weakest == i {
+			return
+		}
+		h.c[i], h.c[weakest] = h.c[weakest], h.c[i]
+		i = weakest
+	}
+}
+
+// drain empties the selector into descending rank order, mapping flat
+// indices back to voxel coordinates with the given T and Y extents.
+func (h *topKSelector) drain(gt, gy int) []VoxelDensity {
+	out := make([]VoxelDensity, len(h.c))
+	for n := len(h.c) - 1; n >= 0; n-- {
+		c := h.c[0]
+		last := len(h.c) - 1
+		h.c[0] = h.c[last]
+		h.c = h.c[:last]
+		h.siftDown(0)
+		out[n] = VoxelDensity{
+			X: c.idx / (gt * gy), Y: (c.idx / gt) % gy, T: c.idx % gt,
+			V: c.v,
+		}
+	}
+	return out
+}
 
 // TopK returns the k highest-density voxels in descending density order
-// (ties broken by ascending flat index), in O(Voxels·log k) time: the
-// "where are the hotspots?" query of interactive space-time-cube analysis.
+// (ties broken by ascending flat index), in O(Voxels·log k) time and O(k)
+// allocations: the "where are the hotspots?" query of interactive
+// space-time-cube analysis. Build a Pyramid to prune the scan to the
+// blocks that can still matter.
 func (g *Grid) TopK(k int) []VoxelDensity {
 	if k <= 0 {
 		return nil
@@ -168,29 +266,16 @@ func (g *Grid) TopK(k int) []VoxelDensity {
 	if k > len(g.Data) {
 		k = len(g.Data)
 	}
-	h := make(voxelMinHeap, 0, k)
+	h := newTopKSelector(k)
 	for i, v := range g.Data {
-		if len(h) < k {
-			heap.Push(&h, voxelCandidate{idx: i, v: v})
+		if h.full() && v < h.floor().v {
+			// Strictly below the floor: cannot displace anything (an
+			// equal-density candidate could still win its index tie).
 			continue
 		}
-		// Strict > keeps the earliest-seen candidate on ties; since i
-		// ascends over Data, ties resolve to the lowest flat index.
-		if v > h[0].v {
-			h[0] = voxelCandidate{idx: i, v: v}
-			heap.Fix(&h, 0)
-		}
+		h.offer(i, v)
 	}
-	gt, gy := g.Spec.Gt, g.Spec.Gy
-	out := make([]VoxelDensity, len(h))
-	for n := len(h) - 1; n >= 0; n-- {
-		c := heap.Pop(&h).(voxelCandidate)
-		out[n] = VoxelDensity{
-			X: c.idx / (gt * gy), Y: (c.idx / gt) % gy, T: c.idx % gt,
-			V: c.v,
-		}
-	}
-	return out
+	return h.drain(g.Spec.Gt, g.Spec.Gy)
 }
 
 // Threshold returns the voxel boxes (grown greedily along T runs) where

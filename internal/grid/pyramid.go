@@ -1,0 +1,360 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/par"
+)
+
+// blockShift is the log2 edge of a pyramid block: blocks are 8x8x8 voxels,
+// small enough that a false-positive block scan is cheap and large enough
+// that the block tables are ~0.2% of the grid.
+const (
+	blockShift = 3
+	blockEdge  = 1 << blockShift
+)
+
+// blocksFor returns the number of blockEdge-sized blocks covering n voxels.
+func blocksFor(n int) int { return (n + blockEdge - 1) >> blockShift }
+
+// Pyramid is the analytics sketch of a static density grid:
+//
+//   - a 3-D summed-volume table (inclusive prefix sums over X, Y and T,
+//     with one zero-padded boundary plane per axis) answering BoxMass with
+//     an 8-corner lookup in O(1) instead of an O(box) triple loop;
+//   - coarse 8x8x8 block maxima pruning TopK and Threshold to the blocks
+//     that can still contribute, O(k + touched blocks) instead of O(G).
+//
+// The pyramid references the grid it was built from (TopK and Threshold
+// re-read exact voxel values inside surviving blocks), so the grid must
+// stay immutable and alive while the pyramid is used — the contract cached
+// serving grids already obey. Build cost is one parallel O(G) pass; the
+// tables are budget-accounted like Downsample and released with Release.
+//
+// Answers agree with the naive Grid scans to within accumulation rounding
+// (the property tests assert ≤1e-9); TopK and Threshold re-read exact
+// voxel values, so their selections match the sequential scans exactly.
+type Pyramid struct {
+	g *Grid
+
+	// svt holds inclusive prefix sums with one layer of zero padding:
+	// svt[(X*(Gy+1)+Y)*(Gt+1)+T] = sum of g over [0,X) x [0,Y) x [0,T).
+	svt []float64
+
+	bx, by, bt int       // block grid dimensions
+	blockMax   []float64 // per-block voxel maximum, T-block innermost
+
+	budget *Budget
+}
+
+// PyramidBytes returns the memory footprint of a pyramid for the spec,
+// before building one (the serving tier sizes evictions with it).
+func PyramidBytes(s Spec) int64 {
+	svt := int64(s.Gx+1) * int64(s.Gy+1) * int64(s.Gt+1)
+	blocks := int64(blocksFor(s.Gx)) * int64(blocksFor(s.Gy)) * int64(blocksFor(s.Gt))
+	return (svt + blocks) * 8
+}
+
+// NewPyramid builds the analytics sketch of g with up to p workers (p < 1
+// means GOMAXPROCS), charging the budget if one is provided.
+func NewPyramid(g *Grid, p int, b *Budget) (*Pyramid, error) {
+	s := g.Spec
+	bytes := PyramidBytes(s)
+	if err := b.Alloc(bytes); err != nil {
+		return nil, err
+	}
+	py := &Pyramid{
+		g:   g,
+		svt: make([]float64, (s.Gx+1)*(s.Gy+1)*(s.Gt+1)),
+		bx:  blocksFor(s.Gx), by: blocksFor(s.Gy), bt: blocksFor(s.Gt),
+		budget: b,
+	}
+	py.blockMax = make([]float64, py.bx*py.by*py.bt)
+	py.build(p)
+	return py, nil
+}
+
+// build fills the summed-volume table in three axis passes plus the block
+// maxima. Each pass partitions work so that every output cell is summed by
+// exactly one worker in ascending axis order, making the table (and hence
+// every BoxMass answer) independent of the worker count.
+func (py *Pyramid) build(p int) {
+	s := py.g.Spec
+	ny, nt := s.Gy+1, s.Gt+1
+
+	// Pass 1: cumulative sums along T, one grid row into one padded row.
+	par.BlocksMin(p, s.Gx*s.Gy, 1+minAnalysisBlock/s.Gt, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			X, Y := r/s.Gy, r%s.Gy
+			src := py.g.Data[r*s.Gt : (r+1)*s.Gt]
+			dst := py.svt[((X+1)*ny+Y+1)*nt:][:nt]
+			run := 0.0
+			for t, v := range src {
+				run += v
+				dst[t+1] = run
+			}
+		}
+	})
+	// Pass 2: cumulative sums along Y within each X plane.
+	par.BlocksMin(p, s.Gx, 1+minAnalysisBlock/(s.Gy*s.Gt), func(_, lo, hi int) {
+		for X := lo + 1; X <= hi; X++ {
+			plane := py.svt[X*ny*nt:][:ny*nt]
+			for Y := 2; Y <= s.Gy; Y++ {
+				prev := plane[(Y-1)*nt:][:nt]
+				cur := plane[Y*nt:][:nt]
+				for t := range cur {
+					cur[t] += prev[t]
+				}
+			}
+		}
+	})
+	// Pass 3: cumulative sums along X; workers own disjoint Y rows so the
+	// X recurrence stays sequential per cell.
+	par.BlocksMin(p, ny, 1+minAnalysisBlock/(s.Gx*s.Gt), func(_, ylo, yhi int) {
+		for X := 2; X <= s.Gx; X++ {
+			for Y := ylo; Y < yhi; Y++ {
+				prev := py.svt[((X-1)*ny+Y)*nt:][:nt]
+				cur := py.svt[(X*ny+Y)*nt:][:nt]
+				for t := range cur {
+					cur[t] += prev[t]
+				}
+			}
+		}
+	})
+
+	// Block maxima: one worker per run of (bX, bY) block columns.
+	par.BlocksMin(p, py.bx*py.by, 1+minAnalysisBlock/(blockEdge*blockEdge*s.Gt), func(_, lo, hi int) {
+		for bc := lo; bc < hi; bc++ {
+			bX, bY := bc/py.by, bc%py.by
+			maxs := py.blockMax[bc*py.bt:][:py.bt]
+			for i := range maxs {
+				maxs[i] = math.Inf(-1)
+			}
+			for X := bX << blockShift; X < min((bX+1)<<blockShift, s.Gx); X++ {
+				for Y := bY << blockShift; Y < min((bY+1)<<blockShift, s.Gy); Y++ {
+					row := py.g.Data[(X*s.Gy+Y)*s.Gt:][:s.Gt]
+					for t, v := range row {
+						if m := &maxs[t>>blockShift]; v > *m {
+							*m = v
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// Bytes returns the memory footprint of the pyramid's tables.
+func (py *Pyramid) Bytes() int64 { return PyramidBytes(py.g.Spec) }
+
+// Grid returns the grid the pyramid indexes.
+func (py *Pyramid) Grid() *Grid { return py.g }
+
+// Release returns the pyramid's memory charge to its budget. The pyramid
+// must not be used afterwards (the indexed grid is untouched).
+func (py *Pyramid) Release() {
+	if py.budget != nil {
+		py.budget.Free(py.Bytes())
+		py.budget = nil
+	}
+	py.svt = nil
+	py.blockMax = nil
+}
+
+// corner reads the inclusive prefix sum over [0,X) x [0,Y) x [0,T).
+func (py *Pyramid) corner(X, Y, T int) float64 {
+	s := py.g.Spec
+	return py.svt[(X*(s.Gy+1)+Y)*(s.Gt+1)+T]
+}
+
+// BoxMass integrates the density over a voxel box (sum * sres^2 * tres) in
+// O(1) via the 8-corner inclusion–exclusion of the summed-volume table.
+func (py *Pyramid) BoxMass(b Box) float64 {
+	s := py.g.Spec
+	b = b.Clip(s.Bounds())
+	if b.Empty() {
+		return 0
+	}
+	x0, x1 := b.X0, b.X1+1
+	y0, y1 := b.Y0, b.Y1+1
+	t0, t1 := b.T0, b.T1+1
+	hiT := py.corner(x1, y1, t1) - py.corner(x0, y1, t1) -
+		py.corner(x1, y0, t1) + py.corner(x0, y0, t1)
+	loT := py.corner(x1, y1, t0) - py.corner(x0, y1, t0) -
+		py.corner(x1, y0, t0) + py.corner(x0, y0, t0)
+	return (hiT - loT) * s.SRes * s.SRes * s.TRes
+}
+
+// TopK returns the k highest-density voxels in descending density order
+// (ties broken by ascending flat index), identical to Grid.TopK, but
+// visiting blocks in descending block-maximum order and stopping as soon
+// as no remaining block can beat the current floor: O(k + touched blocks)
+// for peaked densities instead of O(G).
+func (py *Pyramid) TopK(k int) []VoxelDensity {
+	s := py.g.Spec
+	if k <= 0 {
+		return nil
+	}
+	if k > len(py.g.Data) {
+		k = len(py.g.Data)
+	}
+	var bh blockHeap
+	bh.init(nil, len(py.blockMax), py.blockMax)
+	h := newTopKSelector(k)
+	for {
+		bi, ok := bh.pop()
+		if !ok {
+			break
+		}
+		if h.full() && py.blockMax[bi] < h.floor().v {
+			break // no remaining block can displace a retained candidate
+		}
+		b := int(bi)
+		bT := b % py.bt
+		bY := (b / py.bt) % py.by
+		bX := b / (py.bt * py.by)
+		t0, t1 := bT<<blockShift, min((bT+1)<<blockShift, s.Gt)
+		for X := bX << blockShift; X < min((bX+1)<<blockShift, s.Gx); X++ {
+			for Y := bY << blockShift; Y < min((bY+1)<<blockShift, s.Gy); Y++ {
+				base := (X*s.Gy+Y)*s.Gt + t0
+				for t, v := range py.g.Data[base : base+(t1-t0)] {
+					if h.full() && v < h.floor().v {
+						continue
+					}
+					h.offer(base+t, v)
+				}
+			}
+		}
+	}
+	return h.drain(s.Gt, s.Gy)
+}
+
+// Threshold returns the voxel boxes where density meets or exceeds the
+// given level, exactly as Grid.Threshold reports them, but scanning only
+// the T runs covered by blocks whose maximum reaches the level. A run's
+// voxels are all >= level, so a run can never extend into a block whose
+// maximum is below the level — scanning maximal unions of adjacent hot
+// blocks reproduces the sequential runs exactly.
+func (py *Pyramid) Threshold(level float64) []Box {
+	s := py.g.Spec
+	var out []Box
+	for X := 0; X < s.Gx; X++ {
+		for Y := 0; Y < s.Gy; Y++ {
+			maxs := py.blockMax[((X>>blockShift)*py.by+(Y>>blockShift))*py.bt:][:py.bt]
+			row := py.g.Data[(X*s.Gy+Y)*s.Gt:][:s.Gt]
+			for bT := 0; bT < py.bt; bT++ {
+				if maxs[bT] < level {
+					continue
+				}
+				// Extend to the maximal run of adjacent hot blocks.
+				bEnd := bT
+				for bEnd+1 < py.bt && maxs[bEnd+1] >= level {
+					bEnd++
+				}
+				t1 := min((bEnd+1)<<blockShift, s.Gt)
+				start := -1
+				for T := bT << blockShift; T <= t1; T++ {
+					hot := T < t1 && row[T] >= level
+					if hot && start < 0 {
+						start = T
+					}
+					if !hot && start >= 0 {
+						out = append(out, Box{X0: X, X1: X, Y0: Y, Y1: Y, T0: start, T1: T - 1})
+						start = -1
+					}
+				}
+				bT = bEnd
+			}
+		}
+	}
+	return out
+}
+
+// blockHeap pops block indices in (maximum descending, index ascending)
+// order — the deterministic best-first traversal Pyramid.TopK and
+// RingSketch.TopK prune. Building is a linear heapify; only the blocks a
+// query actually visits pay the log-cost pops, so a pruned top-k touches
+// O(visited·log blocks) instead of sorting every block per query.
+type blockHeap struct {
+	idx  []int32
+	maxv []float64
+}
+
+// init fills the heap with blocks [0, n) over the given maxima, reusing
+// the provided scratch slice when it is large enough.
+func (h *blockHeap) init(scratch []int32, n int, maxv []float64) {
+	if cap(scratch) < n {
+		scratch = make([]int32, n)
+	}
+	h.idx = scratch[:n]
+	h.maxv = maxv
+	for i := range h.idx {
+		h.idx[i] = int32(i)
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// before reports whether block a pops before block b.
+func (h *blockHeap) before(a, b int32) bool {
+	if h.maxv[a] != h.maxv[b] {
+		return h.maxv[a] > h.maxv[b]
+	}
+	return a < b
+}
+
+func (h *blockHeap) siftDown(i int) {
+	n := len(h.idx)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && h.before(h.idx[l], h.idx[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && h.before(h.idx[r], h.idx[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.idx[i], h.idx[best] = h.idx[best], h.idx[i]
+		i = best
+	}
+}
+
+// pop removes and returns the best remaining block.
+func (h *blockHeap) pop() (int32, bool) {
+	if len(h.idx) == 0 {
+		return 0, false
+	}
+	top := h.idx[0]
+	last := len(h.idx) - 1
+	h.idx[0] = h.idx[last]
+	h.idx = h.idx[:last]
+	h.siftDown(0)
+	return top, true
+}
+
+// push re-queues a block (whose ordering value may have changed since it
+// was popped — RingSketch.TopK tightens a dirty block's bound to its exact
+// maximum before re-queueing).
+func (h *blockHeap) push(b int32) {
+	h.idx = append(h.idx, b)
+	i := len(h.idx) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.before(h.idx[i], h.idx[p]) {
+			return
+		}
+		h.idx[i], h.idx[p] = h.idx[p], h.idx[i]
+		i = p
+	}
+}
+
+// String summarizes the pyramid for debugging.
+func (py *Pyramid) String() string {
+	s := py.g.Spec
+	return fmt.Sprintf("pyramid %dx%dx%d (blocks %dx%dx%d, %d bytes)",
+		s.Gx, s.Gy, s.Gt, py.bx, py.by, py.bt, py.Bytes())
+}

@@ -23,6 +23,11 @@ type Ring struct {
 	// estimation engine can build writable views onto physical runs.
 	Data []float64
 
+	// sketch is the optional incremental analytics index (see
+	// EnableSketch); writers keep it consistent through MarkDirty and the
+	// Advance/Zero hooks below.
+	sketch *RingSketch
+
 	budget *Budget
 }
 
@@ -73,9 +78,19 @@ func (r *Ring) Advance(k int) {
 		zeroPar(r.Data, 1)
 		r.base = 0
 		r.spec.OT += k
+		if r.sketch != nil {
+			r.sketch.resetZeroed()
+		}
 		return
 	}
 	r.zeroPhysLayers(r.base, k)
+	// The sketch rotates for free: its blocks live in physical
+	// coordinates, so only the freed layers change (whole T-blocks become
+	// exactly zero, boundary blocks go dirty). Updating before the base
+	// moves keeps the physical layer range in one frame.
+	if r.sketch != nil {
+		r.sketch.zeroedPhysLayers(r.base, k)
+	}
 	r.base = (r.base + k) % gt
 	r.spec.OT += k
 }
@@ -125,7 +140,12 @@ func (r *Ring) Segments(t0, t1 int) []TSegment {
 }
 
 // Zero resets every voxel of the window to zero (the compaction reset).
-func (r *Ring) Zero() { zeroPar(r.Data, 1) }
+func (r *Ring) Zero() {
+	zeroPar(r.Data, 1)
+	if r.sketch != nil {
+		r.sketch.resetZeroed()
+	}
+}
 
 // Snapshot materializes the window as a plain Grid in logical layer order,
 // charged to the given budget. A released ring reports an error instead
@@ -151,12 +171,16 @@ func (r *Ring) Snapshot(b *Budget) (*Grid, error) {
 	return g, nil
 }
 
-// Release returns the ring's memory charge to its budget. The ring must
-// not be used afterwards.
+// Release returns the ring's memory charge (and its sketch's, if one is
+// attached) to its budget. The ring must not be used afterwards.
 func (r *Ring) Release() {
 	if r.budget != nil {
 		r.budget.Free(r.spec.Bytes())
 		r.budget = nil
+	}
+	if r.sketch != nil {
+		r.sketch.release()
+		r.sketch = nil
 	}
 	r.Data = nil
 }

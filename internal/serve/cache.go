@@ -29,6 +29,12 @@ type cacheEntry struct {
 	key   estimateKey
 	g     *grid.Grid
 	bytes int64
+	// py is the entry's analytics sketch (summed-volume pyramid), attached
+	// lazily by the first region/hotspot/job-mass query against the grid.
+	// Its budget charge is its own (grid.NewPyramid allocated it); the
+	// cache counts it in resident so the evictable share stays truthful,
+	// and releases it when the entry drops.
+	py *grid.Pyramid
 }
 
 func newGridCache(limitBytes int64) *gridCache {
@@ -92,14 +98,69 @@ func (c *gridCache) put(k estimateKey, g *grid.Grid) (evicted int, cached bool) 
 	return evicted, true
 }
 
-// dropLocked removes one LRU element, returning its bytes to the budget.
-// Callers hold c.mu.
+// dropLocked removes one LRU element, returning its bytes (and its
+// pyramid's, when one is attached) to the budget. Callers hold c.mu.
 func (c *gridCache) dropLocked(e *list.Element) {
 	ent := e.Value.(*cacheEntry)
 	c.lru.Remove(e)
 	delete(c.entries, ent.key)
 	c.budget.Free(ent.bytes)
 	c.resident -= ent.bytes
+	if ent.py != nil {
+		// Dereference, don't Release: like evicted grids, a reader that
+		// obtained the pyramid before the drop keeps a valid immutable
+		// index and the garbage collector reclaims it. Only the budget
+		// charge is returned here.
+		c.resident -= ent.py.Bytes()
+		c.budget.Free(ent.py.Bytes())
+		ent.py = nil
+	}
+}
+
+// getPyramid returns the attached analytics pyramid for the key, promoting
+// the entry to most recently used.
+func (c *gridCache) getPyramid(k estimateKey) (*grid.Pyramid, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	ent := e.Value.(*cacheEntry)
+	if ent.py == nil {
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	return ent.py, true
+}
+
+// attachPyramid publishes a freshly built pyramid onto the key's entry.
+// The publish is identity-checked against the exact grid the pyramid was
+// built from, not just the key: if the entry was evicted or invalidated
+// while the pyramid was building and then refilled under the same key
+// with a different grid (a stream mutation raced the build), adopting
+// would publish a stale pre-mutation index onto post-mutation data.
+// In that case nothing is adopted and the caller keeps ownership for the
+// duration of its own request. If a racing builder already attached a
+// pyramid for the same grid, it is returned so the caller can answer from
+// it and release its duplicate.
+func (c *gridCache) attachPyramid(k estimateKey, py *grid.Pyramid) (adopted bool, existing *grid.Pyramid) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		return false, nil
+	}
+	ent := e.Value.(*cacheEntry)
+	if ent.g != py.Grid() {
+		return false, nil
+	}
+	if ent.py != nil {
+		return false, ent.py
+	}
+	ent.py = py
+	c.resident += py.Bytes()
+	return true, py
 }
 
 // invalidateDataset drops every cached grid derived from the dataset — the
@@ -137,6 +198,34 @@ func (c *gridCache) evictFor(bytes int64) int {
 		n++
 	}
 	return n
+}
+
+// evictForExcept is evictFor with one protected entry: the analytics
+// pyramid build must never evict the very grid it is indexing (the key was
+// just served, so it sits at the LRU front; once eviction reaches it the
+// loop gives up and the caller falls back to the naive scans).
+func (c *gridCache) evictForExcept(bytes int64, except estimateKey) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for c.budget.Limit() > 0 && c.budget.Used()+bytes > c.budget.Limit() {
+		back := c.lru.Back()
+		if back == nil || back.Value.(*cacheEntry).key == except {
+			break
+		}
+		c.dropLocked(back)
+		n++
+	}
+	return n
+}
+
+// pinnedBytes reports the budget share held by non-evictable charges
+// (stream window rings and their sketches): Used() minus the LRU
+// residents. Eviction can never reclaim it.
+func (c *gridCache) pinnedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget.Used() - c.resident
 }
 
 // budgetHandle exposes the cache's byte budget so long-lived stream grids

@@ -394,8 +394,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleRegion integrates the density over a voxel box: the estimated
-// probability mass of a space-time region. The grid is computed (through
-// the coalescing and pool layers) when not yet resident.
+// probability mass of a space-time region. Live streams answer from the
+// window's incremental sketch (no O(G) snapshot); static grids answer from
+// the summed-volume pyramid in O(1), computing the grid (through the
+// coalescing and pool layers) when not yet resident. Either sketch answer
+// is reported with source "sketch"; the naive O(box) scan remains as the
+// exact fallback (source "grid") when a sketch cannot fit the budget.
 func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
@@ -419,22 +423,71 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	clipped := box.Clip(k.Spec.Bounds())
+	boxJSON := [6]int{clipped.X0, clipped.X1, clipped.Y0, clipped.Y1, clipped.T0, clipped.T1}
+	if st, isStream := s.streams.get(k.Dataset); isStream {
+		if mass, rebuilt, ok := s.sketchBoxMass(st, k.Spec, box); ok {
+			s.met.sketchHits.Add(1)
+			s.met.sketchRebuilds.Add(rebuilt)
+			writeJSON(w, http.StatusOK, map[string]any{
+				"mass":   mass,
+				"box":    boxJSON,
+				"voxels": clipped.Count(),
+				"cached": false,
+				"source": "sketch",
+			})
+			return
+		}
+	}
 	res, cached, err := s.ensureGrid(k, false)
 	if err != nil {
 		writeErr(w, ensureStatus(err), "%v", err)
 		return
 	}
-	clipped := box.Clip(k.Spec.Bounds())
+	var mass float64
+	source := "grid"
+	if py, done, perr := s.ensurePyramid(k, res.Grid); perr == nil {
+		mass = py.BoxMass(box)
+		done()
+		source = "sketch"
+		s.met.sketchHits.Add(1)
+	} else {
+		mass = res.Grid.BoxMass(box)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"mass":   res.Grid.BoxMass(box),
-		"box":    [6]int{clipped.X0, clipped.X1, clipped.Y0, clipped.Y1, clipped.T0, clipped.T1},
+		"mass":   mass,
+		"box":    boxJSON,
 		"voxels": clipped.Count(),
 		"cached": cached,
+		"source": source,
 	})
 }
 
-// handleHotspots reports the k highest-density voxels of the grid,
-// computing it (coalesced, pooled) when not yet resident.
+// hotspotJSON is the wire shape of one hotspot voxel.
+type hotspotJSON struct {
+	Voxel   [3]int     `json:"voxel"`
+	Center  [3]float64 `json:"center"`
+	Density float64    `json:"density"`
+}
+
+func toHotspotsJSON(spec grid.Spec, top []grid.VoxelDensity) []hotspotJSON {
+	out := make([]hotspotJSON, 0, len(top))
+	for _, h := range top {
+		out = append(out, hotspotJSON{
+			Voxel:   [3]int{h.X, h.Y, h.T},
+			Center:  [3]float64{spec.CenterX(h.X), spec.CenterY(h.Y), spec.CenterT(h.T)},
+			Density: h.V,
+		})
+	}
+	return out
+}
+
+// handleHotspots reports the k highest-density voxels. Live streams answer
+// from the window's incremental sketch (best-first block scan, no O(G)
+// snapshot); static grids answer from the block pyramid, computing the
+// grid (coalesced, pooled) when not yet resident. Sketch answers carry
+// source "sketch"; the naive O(G·log k) scan remains as the exact fallback
+// (source "grid").
 func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
@@ -452,26 +505,38 @@ func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if st, isStream := s.streams.get(k.Dataset); isStream {
+		if top, rebuilt, ok := s.sketchTopK(st, k.Spec, topK); ok {
+			s.met.sketchHits.Add(1)
+			s.met.sketchRebuilds.Add(rebuilt)
+			writeJSON(w, http.StatusOK, map[string]any{
+				"hotspots": toHotspotsJSON(k.Spec, top),
+				"cached":   false,
+				"source":   "sketch",
+			})
+			return
+		}
+	}
 	res, cached, err := s.ensureGrid(k, false)
 	if err != nil {
 		writeErr(w, ensureStatus(err), "%v", err)
 		return
 	}
-	type hotspotJSON struct {
-		Voxel   [3]int     `json:"voxel"`
-		Center  [3]float64 `json:"center"`
-		Density float64    `json:"density"`
+	var top []grid.VoxelDensity
+	source := "grid"
+	if py, done, perr := s.ensurePyramid(k, res.Grid); perr == nil {
+		top = py.TopK(topK)
+		done()
+		source = "sketch"
+		s.met.sketchHits.Add(1)
+	} else {
+		top = res.Grid.TopK(topK)
 	}
-	top := res.Grid.TopK(topK)
-	out := make([]hotspotJSON, 0, len(top))
-	for _, h := range top {
-		out = append(out, hotspotJSON{
-			Voxel:   [3]int{h.X, h.Y, h.T},
-			Center:  [3]float64{k.Spec.CenterX(h.X), k.Spec.CenterY(h.Y), k.Spec.CenterT(h.T)},
-			Density: h.V,
-		})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"hotspots": out, "cached": cached})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"hotspots": toHotspotsJSON(k.Spec, top),
+		"cached":   cached,
+		"source":   source,
+	})
 }
 
 // streamJSON is the wire shape of a live stream dataset.

@@ -129,9 +129,24 @@ func (s *Server) runJob(j *job) {
 	j.state = jobDone
 	j.cacheHit = cached
 	j.seconds = res.Phases.Total().Seconds()
-	v, X, Y, T := res.Grid.Max()
-	j.peak, j.peakVox = v, [3]int{X, Y, T}
-	j.mass = res.Grid.BoxMass(res.Grid.Spec.Bounds())
+	// The completion summary (peak voxel, total mass) is answered from the
+	// analytics pyramid: the build costs one parallel O(G) pass — no more
+	// than the two naive scans it replaces — and leaves the sketch resident
+	// for the region/hotspot queries that typically follow a job. The
+	// naive scans remain as the exact fallback under budget pressure.
+	bounds := res.Grid.Spec.Bounds()
+	if py, done, perr := s.ensurePyramid(j.key, res.Grid); perr == nil {
+		j.mass = py.BoxMass(bounds)
+		if top := py.TopK(1); len(top) == 1 {
+			j.peak, j.peakVox = top[0].V, [3]int{top[0].X, top[0].Y, top[0].T}
+		}
+		done()
+		s.met.sketchHits.Add(1)
+	} else {
+		v, X, Y, T := res.Grid.Max()
+		j.peak, j.peakVox = v, [3]int{X, Y, T}
+		j.mass = res.Grid.BoxMass(bounds)
+	}
 	s.met.jobsDone.Add(1)
 }
 

@@ -32,6 +32,9 @@ type metrics struct {
 	streamReads     expvar.Int // queries answered from a live window ring
 	streamSnapshots expvar.Int // window snapshots served/cached
 	invalidations   expvar.Int // cached grids + query indexes dropped by stream mutation
+
+	sketchHits     expvar.Int // region/hotspot/job answers served from a sketch
+	sketchRebuilds expvar.Int // pyramid builds + stream sketch blocks rebuilt
 }
 
 func newMetrics() *metrics {
@@ -52,6 +55,8 @@ func newMetrics() *metrics {
 	met.m.Set("stream_reads", &met.streamReads)
 	met.m.Set("stream_snapshots", &met.streamSnapshots)
 	met.m.Set("stream_invalidations", &met.invalidations)
+	met.m.Set("sketch_hits", &met.sketchHits)
+	met.m.Set("sketch_rebuilds", &met.sketchRebuilds)
 	met.m.Set("latency_p50_ms", expvar.Func(func() any { return met.latency.quantile(0.50) * 1e3 }))
 	met.m.Set("latency_p99_ms", expvar.Func(func() any { return met.latency.quantile(0.99) * 1e3 }))
 	return met

@@ -32,6 +32,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -293,6 +294,61 @@ func (s *Server) ensureGrid(k estimateKey, preAdmitted bool) (*core.Result, bool
 		return nil, false, err
 	}
 	return res, false, nil
+}
+
+// ensurePyramid returns the analytics pyramid (summed-volume table +
+// block maxima) for a resident grid, building it outside the cache lock
+// when absent. The build is charged to the cache budget — evicting LRU
+// grids to make room, exactly like a stream ring — and published onto the
+// grid's cache entry presence-checked: if the entry was invalidated or
+// evicted during the build, the pyramid stays private to this request and
+// the returned cleanup releases it. The error is a budget failure the
+// callers answer by falling back to the naive O(G) scans.
+func (s *Server) ensurePyramid(k estimateKey, g *grid.Grid) (*grid.Pyramid, func(), error) {
+	noop := func() {}
+	if py, ok := s.cache.getPyramid(k); ok {
+		return py, noop, nil
+	}
+	bytes := grid.PyramidBytes(g.Spec)
+	// Feasibility first: the pyramid and the grid it indexes must be able
+	// to coexist in the evictable share of the budget, or the build would
+	// either evict its own grid or flush residents for nothing (the same
+	// doomed-request principle createStream applies to stream rings).
+	if limit := s.cache.budgetHandle().Limit(); limit > 0 {
+		if bytes+g.Spec.Bytes()+s.cache.pinnedBytes() > limit {
+			return nil, noop, fmt.Errorf("serve: %w: pyramid needs %d bytes next to its %d-byte grid",
+				grid.ErrMemoryBudget, bytes, g.Spec.Bytes())
+		}
+	}
+	s.met.evictions.Add(int64(s.cache.evictForExcept(bytes, k)))
+	var py *grid.Pyramid
+	for {
+		var err error
+		py, err = grid.NewPyramid(g, s.cfg.Threads, s.cache.budgetHandle())
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, grid.ErrMemoryBudget) {
+			return nil, noop, err
+		}
+		evicted := s.cache.evictForExcept(bytes, k)
+		s.met.evictions.Add(int64(evicted))
+		if evicted == 0 {
+			return nil, noop, err
+		}
+	}
+	s.met.sketchRebuilds.Add(1)
+	adopted, existing := s.cache.attachPyramid(k, py)
+	if adopted {
+		return py, noop, nil
+	}
+	if existing != nil { // a racing builder won; serve from its pyramid
+		py.Release()
+		return existing, noop, nil
+	}
+	// The entry vanished mid-build (eviction or stream invalidation): use
+	// the pyramid for this answer only, then return its charge.
+	return py, py.Release, nil
 }
 
 // cachePut inserts a computed grid, folding in the eviction and

@@ -502,6 +502,161 @@ func TestRegionAndHotspots(t *testing.T) {
 	}
 }
 
+// TestSketchAnalytics: region and hotspot answers come from the analytics
+// sketches (source "sketch"), agree with the naive O(G) scans to <= 1e-9,
+// survive stream mutations through incremental dirty-block repair, and are
+// metered by the sketch_hits / sketch_rebuilds expvars.
+func TestSketchAnalytics(t *testing.T) {
+	s, ts, id := testServer(t, Config{})
+	params := specParams(id, core.AlgPBSYM)
+
+	// The naive reference: the same sequential estimate the server runs.
+	spec, err := grid.NewSpec(testDomain, 2, 1, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.Estimate(core.AlgPBSYM, testPoints(500, 7), spec, core.Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var region struct {
+		Mass   float64 `json:"mass"`
+		Source string  `json:"source"`
+	}
+	for _, box := range []string{"", "&bx0=3&bx1=31&by0=2&by1=17&bt0=1&bt1=28", "&bx0=5&bx1=5&by0=6&by1=6&bt0=7&bt1=7"} {
+		resp, err := http.Get(ts.URL + "/v1/region?" + params + box)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeBody(t, resp, &region)
+		if region.Source != "sketch" {
+			t.Fatalf("region%s source = %q, want sketch", box, region.Source)
+		}
+		b := spec.Bounds()
+		if box != "" {
+			if _, err := fmt.Sscanf(box, "&bx0=%d&bx1=%d&by0=%d&by1=%d&bt0=%d&bt1=%d",
+				&b.X0, &b.X1, &b.Y0, &b.Y1, &b.T0, &b.T1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := ref.Grid.BoxMass(b)
+		if math.Abs(region.Mass-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("region%s mass %g, naive scan %g", box, region.Mass, want)
+		}
+	}
+
+	var hot struct {
+		Hotspots []struct {
+			Voxel   [3]int  `json:"voxel"`
+			Density float64 `json:"density"`
+		} `json:"hotspots"`
+		Source string `json:"source"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/hotspots?" + params + "&k=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &hot)
+	if hot.Source != "sketch" {
+		t.Fatalf("hotspots source = %q, want sketch", hot.Source)
+	}
+	naiveTop := ref.Grid.TopK(7)
+	for i, h := range hot.Hotspots {
+		if h.Voxel != [3]int{naiveTop[i].X, naiveTop[i].Y, naiveTop[i].T} {
+			t.Fatalf("hotspot %d voxel %v, naive scan %v", i, h.Voxel, naiveTop[i])
+		}
+		if math.Abs(h.Density-naiveTop[i].V) > 1e-9 {
+			t.Fatalf("hotspot %d density %g, naive scan %g", i, h.Density, naiveTop[i].V)
+		}
+	}
+
+	// Stream analytics stay exact across mutations: answers after a second
+	// ingest reflect the new events through dirty-block repair alone.
+	streamID := createStream(t, ts)
+	postEvents(t, ts, streamID, streamEvents(100, 8, 5))
+	streamParams := "dataset=" + streamID + "&sres=2&tres=1&hs=6&ht=3"
+	resp, err = http.Get(ts.URL + "/v1/region?" + streamParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &region)
+	if region.Source != "sketch" {
+		t.Fatalf("stream region source = %q, want sketch", region.Source)
+	}
+	rebuildsAfterWarm := s.met.sketchRebuilds.Value()
+	postEvents(t, ts, streamID, streamEvents(40, 12, 6))
+	resp, err = http.Get(ts.URL + "/v1/region?" + streamParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &region)
+	st, _ := s.streams.get(streamID)
+	wspec := st.up.Spec()
+	batch, err := core.Estimate(core.AlgPBSYM, st.up.Live(), wspec, core.Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := batch.Grid.BoxMass(wspec.Bounds()); math.Abs(region.Mass-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Fatalf("post-ingest stream region mass %g, batch %g", region.Mass, want)
+	}
+	if got := s.met.sketchRebuilds.Value(); got <= rebuildsAfterWarm {
+		t.Fatal("second ingest did not trigger an incremental dirty-block rebuild")
+	}
+	if got := s.met.streamSnapshots.Value(); got != 0 {
+		t.Fatalf("stream analytics took %d O(G) snapshots, want 0", got)
+	}
+
+	// The counters surface through the expvar endpoint.
+	resp, err = http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	decodeBody(t, resp, &vars)
+	for _, name := range []string{"sketch_hits", "sketch_rebuilds"} {
+		v, ok := vars[name].(float64)
+		if !ok || v <= 0 {
+			t.Fatalf("expvar %s = %v, want a positive counter", name, vars[name])
+		}
+	}
+}
+
+// TestSketchBudgetFallback: when the cache budget cannot host a pyramid
+// next to its grid, the endpoints fall back to the exact naive scans with
+// source "grid" — correctness is never traded for the speedup.
+func TestSketchBudgetFallback(t *testing.T) {
+	spec, err := grid.NewSpec(testDomain, 2, 1, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Room for one grid but not for grid + pyramid.
+	s, ts, id := testServer(t, Config{CacheBytes: spec.Bytes() + spec.Bytes()/2})
+	params := specParams(id, core.AlgPBSYM)
+	resp, err := http.Get(ts.URL + "/v1/region?" + params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var region struct {
+		Mass   float64 `json:"mass"`
+		Source string  `json:"source"`
+	}
+	decodeBody(t, resp, &region)
+	if region.Source != "grid" {
+		t.Fatalf("region source = %q, want the naive fallback", region.Source)
+	}
+	ref, err := core.Estimate(core.AlgPBSYM, testPoints(500, 7), spec, core.Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.Grid.BoxMass(spec.Bounds()); math.Abs(region.Mass-want) > 1e-12 {
+		t.Fatalf("fallback region mass %g, naive %g", region.Mass, want)
+	}
+	if entries, bytes, limit := s.CacheStats(); bytes > limit || entries != 1 {
+		t.Fatalf("fallback disturbed the cache: %d entries, %d/%d bytes", entries, bytes, limit)
+	}
+}
+
 func TestErrorPaths(t *testing.T) {
 	_, ts, id := testServer(t, Config{})
 	for _, tc := range []struct {

@@ -75,6 +75,64 @@ func (st *stream) voxelDensity(spec grid.Spec, x, y, t float64) (density float64
 	return st.up.At(X, Y, T), [3]int{X, Y, T}, [2]float64{t0, t1}, true
 }
 
+// sketchBoxMass answers a region query for the live window straight from
+// the updater's incremental sketch — no O(G) snapshot, no estimation. The
+// boolean reports whether the stream could answer (the spec must be the
+// current window and the lazy sketch must fit the budget); callers fall
+// back to the snapshot path otherwise. Dirty blocks are rebuilt under
+// st.mu, the lock every mutation already holds, so the answer is exactly
+// consistent with the events ingested so far.
+func (s *Server) sketchBoxMass(st *stream, spec grid.Spec, b grid.Box) (mass float64, rebuilt int64, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.deleted || spec != st.up.Spec() {
+		return 0, 0, false
+	}
+	before := st.up.SketchRebuilds()
+	mass, err := st.up.BoxMass(b)
+	if err != nil {
+		if !s.evictForSketch(spec, err) {
+			return 0, 0, false
+		}
+		if mass, err = st.up.BoxMass(b); err != nil {
+			return 0, 0, false
+		}
+	}
+	return mass, st.up.SketchRebuilds() - before, true
+}
+
+// sketchTopK answers a hotspot query from the live window's incremental
+// sketch, under the same contract as sketchBoxMass.
+func (s *Server) sketchTopK(st *stream, spec grid.Spec, k int) (top []grid.VoxelDensity, rebuilt int64, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.deleted || spec != st.up.Spec() {
+		return nil, 0, false
+	}
+	before := st.up.SketchRebuilds()
+	top, err := st.up.TopK(k)
+	if err != nil {
+		if !s.evictForSketch(spec, err) {
+			return nil, 0, false
+		}
+		if top, err = st.up.TopK(k); err != nil {
+			return nil, 0, false
+		}
+	}
+	return top, st.up.SketchRebuilds() - before, true
+}
+
+// evictForSketch makes room in the cache budget for a stream's lazy ring
+// sketch after a budget failure, reporting whether a retry is worthwhile.
+func (s *Server) evictForSketch(spec grid.Spec, err error) bool {
+	if !errors.Is(err, grid.ErrMemoryBudget) {
+		return false
+	}
+	evicted := s.cache.evictFor(grid.RingSketchBytes(spec))
+	s.met.evictions.Add(int64(evicted))
+	return evicted > 0
+}
+
 // window returns the continuous time range the live window covers — the
 // last known range once the stream is deleted (Updater.Window reads only
 // the spec, which survives Release, so a response racing a DELETE still

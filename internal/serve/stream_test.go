@@ -156,25 +156,62 @@ func TestStreamLifecycle(t *testing.T) {
 		}
 	}
 
-	// Region mass over the whole window: the snapshot path, compared to
-	// the batch grid.
+	// Region mass over the whole window: answered from the incremental
+	// window sketch — no O(G) snapshot is materialized — and it must agree
+	// with the batch grid.
 	resp, err := http.Get(ts.URL + "/v1/region?dataset=" + id + "&sres=2&tres=1&hs=6&ht=3")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var region struct {
-		Mass  float64 `json:"mass"`
-		Error string  `json:"error"`
+		Mass   float64 `json:"mass"`
+		Source string  `json:"source"`
+		Error  string  `json:"error"`
 	}
 	decodeBody(t, resp, &region)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("region status %d: %s", resp.StatusCode, region.Error)
 	}
+	if region.Source != "sketch" {
+		t.Fatalf("region source = %q, want sketch", region.Source)
+	}
 	if want := batch.Grid.BoxMass(spec.Bounds()); math.Abs(region.Mass-want) > 1e-9 {
 		t.Fatalf("region mass = %g, batch = %g", region.Mass, want)
 	}
-	if got := s.met.streamSnapshots.Value(); got == 0 {
-		t.Fatal("region did not use the stream snapshot path")
+	if got := s.met.sketchHits.Value(); got == 0 {
+		t.Fatal("region did not use the sketch path")
+	}
+	if got := s.met.streamSnapshots.Value(); got != 0 {
+		t.Fatalf("sketch-path region took %d O(G) snapshots", got)
+	}
+
+	// Hotspots from the same sketch: the top voxel matches a naive scan of
+	// the batch grid.
+	resp, err = http.Get(ts.URL + "/v1/hotspots?dataset=" + id + "&sres=2&tres=1&hs=6&ht=3&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot struct {
+		Hotspots []struct {
+			Voxel   [3]int  `json:"voxel"`
+			Density float64 `json:"density"`
+		} `json:"hotspots"`
+		Source string `json:"source"`
+		Error  string `json:"error"`
+	}
+	decodeBody(t, resp, &hot)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hotspots status %d: %s", resp.StatusCode, hot.Error)
+	}
+	if hot.Source != "sketch" || len(hot.Hotspots) != 3 {
+		t.Fatalf("hotspots = %d entries source=%q, want 3 from sketch", len(hot.Hotspots), hot.Source)
+	}
+	wantTop := batch.Grid.TopK(1)[0]
+	if hot.Hotspots[0].Voxel != [3]int{wantTop.X, wantTop.Y, wantTop.T} {
+		t.Fatalf("top hotspot %v, batch peak %v", hot.Hotspots[0].Voxel, wantTop)
+	}
+	if math.Abs(hot.Hotspots[0].Density-wantTop.V) > 1e-9 {
+		t.Fatalf("top hotspot density %g, batch %g", hot.Hotspots[0].Density, wantTop.V)
 	}
 
 	// Slide the window 10 layers forward (past half the creation domain).
@@ -217,14 +254,17 @@ func TestStreamLifecycle(t *testing.T) {
 	}
 
 	// Regression: even with the advanced window's snapshot resident in
-	// the grid cache (warmed by /v1/region), a behind-window time must
+	// the grid cache (warmed by an estimation job — region answers from
+	// the sketch now and materializes nothing), a behind-window time must
 	// not be served from it — VoxelOf would clamp the stale time onto
 	// the window's first layer.
-	resp, err = http.Get(ts.URL + "/v1/region?dataset=" + id + "&sres=2&tres=1&hs=6&ht=3")
-	if err != nil {
-		t.Fatal(err)
+	wj := postEstimate(t, ts, fmt.Sprintf(`{"dataset":%q,"sres":2,"tres":1,"hs":6,"ht":3}`, id))
+	if done := pollJob(t, ts, wj.Job); done.State != jobDone {
+		t.Fatalf("snapshot warmup job failed: %s", done.Error)
 	}
-	resp.Body.Close()
+	if got := s.met.streamSnapshots.Value(); got == 0 {
+		t.Fatal("estimation job did not warm a window snapshot into the cache")
+	}
 	got, source := queryDensity(t, ts, id, 20, 15, 5)
 	if source != "exact" {
 		t.Fatalf("behind-window query with resident snapshot served from %q, want exact", source)
@@ -243,18 +283,16 @@ func TestStreamIngestInvalidatesExactly(t *testing.T) {
 	streamID := createStream(t, ts)
 	postEvents(t, ts, streamID, streamEvents(80, 10, 3))
 
-	// Cache a grid for both datasets via the region endpoint.
-	for _, params := range []string{
-		specParams(staticID, "pb-sym"),
-		"dataset=" + streamID + "&algorithm=pb-sym&sres=2&tres=1&hs=6&ht=3",
+	// Cache a grid for both datasets via estimation jobs (the region
+	// endpoint answers streams from the incremental sketch and no longer
+	// materializes a snapshot into the cache).
+	for _, body := range []string{
+		estimateBody(staticID, "pb-sym"),
+		fmt.Sprintf(`{"dataset":%q,"algorithm":"pb-sym","sres":2,"tres":1,"hs":6,"ht":3}`, streamID),
 	} {
-		resp, err := http.Get(ts.URL + "/v1/region?" + params)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("region warmup status %d for %s", resp.StatusCode, params)
+		j := postEstimate(t, ts, body)
+		if done := pollJob(t, ts, j.Job); done.State != jobDone {
+			t.Fatalf("warmup job failed for %s: %s", body, done.Error)
 		}
 	}
 	// Build an exact-query index for both (exact=1 forces it).

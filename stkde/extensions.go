@@ -3,6 +3,7 @@ package stkde
 import (
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/grid"
 )
 
 // Accumulator maintains a streaming STKDE: events are added (or retracted)
@@ -36,6 +37,24 @@ type StreamStats = core.UpdaterStats
 // temporal extent of spec; AdvanceTo slides it forward from there.
 func NewStream(spec Spec, cfg StreamConfig) (*Stream, error) {
 	return core.NewUpdater(spec, cfg)
+}
+
+// Pyramid is the sublinear analytics index of a density grid: a 3-D
+// summed-volume table answering BoxMass with an O(1) 8-corner lookup, plus
+// coarse block maxima pruning TopK and Threshold to the blocks that can
+// still matter. Build one when a volume is queried repeatedly; answers
+// agree with the naive Grid scans to within accumulation rounding (TopK
+// and Threshold selections are exactly the sequential scans').
+type Pyramid = grid.Pyramid
+
+// NewPyramid builds the analytics index of g with up to threads workers
+// (< 1 means GOMAXPROCS), charged to the budget if one is provided. The
+// grid must stay immutable and alive while the pyramid is used.
+//
+// Streams need no explicit pyramid: Stream.TopK and Stream.BoxMass answer
+// from an incremental sketch maintained inside the window ring.
+func NewPyramid(g *Grid, threads int, b *Budget) (*Pyramid, error) {
+	return grid.NewPyramid(g, threads, b)
 }
 
 // Query answers exact density queries at arbitrary continuous space-time

@@ -27,5 +27,6 @@ type (
 func NewDensityServer(cfg ServeConfig) *DensityServer { return serve.New(cfg) }
 
 // VoxelDensity is one voxel and its density estimate, as reported by
-// (*Grid).TopK — the top-k hotspot query of the serving subsystem.
+// (*Grid).TopK, (*Pyramid).TopK and (*Stream).TopK — the top-k hotspot
+// query of the serving subsystem.
 type VoxelDensity = grid.VoxelDensity
