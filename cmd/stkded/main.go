@@ -8,6 +8,22 @@
 //	stkded -addr :8377 -cache-mb 512 -workers 8 -algo pb-sym \
 //	       -preload events.csv,more.csv
 //
+// Shard mode splits live streams across rank daemons. A rank daemon hosts
+// a shard endpoint next to its HTTP listener:
+//
+//	stkded -addr :8378 -shard-listen :9378
+//
+// and a coordinator daemon names its ranks with -peers; every live stream
+// it creates is then carved across them by temporal slab, with region and
+// hotspot queries answered by merging the ranks' incremental sketches:
+//
+//	stkded -addr :8377 -peers hostA:9378,hostB:9378
+//
+// Peers with the inproc:// scheme are hosted inside the coordinator
+// process itself (useful for single-machine sharding and tests):
+//
+//	stkded -addr :8377 -peers inproc://r0,inproc://r1
+//
 // Endpoints (JSON unless noted):
 //
 //	POST /v1/datasets    ingest a CSV body (x,y,t); returns the dataset id
@@ -34,7 +50,9 @@
 //	GET  /healthz        liveness, stream count and cache occupancy
 //	GET  /debug/vars     expvar metrics (cache hits/misses, stream
 //	                     ingest/advance counters, sketch_hits /
-//	                     sketch_rebuilds, latency p50/p99)
+//	                     sketch_rebuilds, latency p50/p99; in shard mode
+//	                     also shard_comm per-rank bytes, shard_gathers and
+//	                     shard_gather p50/p99)
 //
 // SIGINT/SIGTERM drain the HTTP listener and in-flight estimations before
 // exiting.
@@ -64,10 +82,12 @@ func main() {
 
 // options is the parsed command line.
 type options struct {
-	addr    string
-	cfg     stkde.ServeConfig
-	preload []string
-	drain   time.Duration
+	addr        string
+	cfg         stkde.ServeConfig
+	preload     []string
+	drain       time.Duration
+	shardListen string   // host a rank endpoint here ("" = none)
+	peers       []string // shard live streams across these rank endpoints
 }
 
 // parseArgs parses the command line into options, kept separate from run
@@ -82,6 +102,8 @@ func parseArgs(args []string) (options, error) {
 		algo    = fs.String("algo", stkde.AlgPBSYM, "default algorithm: "+strings.Join(stkde.Algorithms(), ", "))
 		preload = fs.String("preload", "", "comma-separated CSV files to ingest at startup")
 		drain   = fs.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+		shardLn = fs.String("shard-listen", "", "host a shard rank endpoint at this address (host:port) for other daemons' -peers")
+		peers   = fs.String("peers", "", "comma-separated rank endpoints to shard live streams across (host:port, or inproc://name to host the rank in-process)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return options{}, err // includes flag.ErrHelp; run maps it to exit 0
@@ -98,10 +120,20 @@ func parseArgs(args []string) (options, error) {
 			Threads:          *threads,
 			DefaultAlgorithm: *algo,
 		},
-		drain: *drain,
+		drain:       *drain,
+		shardListen: *shardLn,
 	}
 	if *preload != "" {
 		o.preload = strings.Split(*preload, ",")
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				return options{}, fmt.Errorf("-peers has an empty endpoint")
+			}
+			o.peers = append(o.peers, p)
+		}
 	}
 	return o, nil
 }
@@ -114,6 +146,45 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Shard setup: host a rank endpoint when asked, auto-host inproc://
+	// peers inside this process, and hand the serving subsystem its
+	// cluster configuration (it dials the peers on first stream creation).
+	var shardRanks []*stkde.ShardRank
+	if o.shardListen != "" || len(o.peers) > 0 {
+		shardNet := stkde.NewShardNetwork()
+		rankOpt := stkde.ShardRankOptions{Local: stkde.Options{Threads: o.cfg.Threads}}
+		host := func(addr string) error {
+			r, err := stkde.ListenShardRank(shardNet, addr, rankOpt)
+			if err != nil {
+				return err
+			}
+			shardRanks = append(shardRanks, r)
+			fmt.Printf("shard rank  %s\n", r.Addr())
+			return nil
+		}
+		if o.shardListen != "" {
+			if err := host(o.shardListen); err != nil {
+				return err
+			}
+		}
+		for _, p := range o.peers {
+			if strings.HasPrefix(p, "inproc://") {
+				if err := host(p); err != nil {
+					return err
+				}
+			}
+		}
+		defer func() {
+			for _, r := range shardRanks {
+				r.Close()
+			}
+		}()
+		if len(o.peers) > 0 {
+			o.cfg.Shard = &stkde.ShardServeConfig{Peers: o.peers, Network: shardNet}
+			fmt.Printf("sharding    streams across %d rank(s)\n", len(o.peers))
+		}
+	}
+
 	srv := stkde.NewDensityServer(o.cfg)
 	for _, name := range o.preload {
 		name = strings.TrimSpace(name)

@@ -8,13 +8,19 @@
 // by cmd/stkdebench and the benchmarks in bench_test.go.
 //
 // Beyond the paper's shared-memory algorithms, repro/internal/dist
-// implements the paper's future-work item as a simulated distributed-memory
+// implements the paper's future-work item as a real distributed-memory
 // estimator: the time axis is sharded into voxel-aligned temporal slabs
 // (one per rank), boundary events are replicated to neighboring slabs (halo
-// exchange), each rank runs any of the twelve shared-memory strategies on
-// its slab, and serialized scatter/gather messages are counted byte by
-// byte. It is exposed as stkde.EstimateDistributed, the -ranks flag of
-// cmd/stkde, and the "dist" experiment of cmd/stkdebench.
+// exchange), and each rank is a protocol endpoint (dist.RankServer) running
+// any of the twelve shared-memory strategies on its slab, reached over
+// framed TCP or a zero-copy in-process channel — one wire protocol behind
+// both transports, with scatter/gather bytes counted at the framing layer.
+// A cluster also hosts sharded live-stream windows whose region/hotspot
+// queries are answered by merging per-rank incremental sketches instead of
+// gathering grids. It is exposed as stkde.EstimateDistributed and the
+// ShardNetwork/ShardRank/ShardCluster surface, the -ranks flag of
+// cmd/stkde, the -shard-listen/-peers flags of cmd/stkded, and the "dist"
+// and "shard" experiments of cmd/stkdebench.
 //
 // The PB-family hot path is a specialized compute engine: the in-disk Y
 // range of every X column is computed once (disk spans), points are

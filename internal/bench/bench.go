@@ -26,6 +26,10 @@
 //	        summed-volume pyramid on static grids and the snapshot path
 //	        vs the incremental ring sketch on live streams (the committed
 //	        BENCH_analytics.json record)
+//	shard   per-query gather cost of sharded live-window analytics over
+//	        the real rank protocol: O(G) slab-grid gathers vs merging the
+//	        ranks' incremental sketches (the committed BENCH_shard.json
+//	        record)
 //
 // Absolute times differ from the paper's 2x8-core Xeon; the harness aims to
 // reproduce the qualitative shape: which algorithm wins where, the rough
@@ -153,7 +157,7 @@ type Report struct {
 func Experiments() []string {
 	return []string{"table2", "table3", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "dist", "serve",
-		"kernels", "stream", "analytics"}
+		"kernels", "stream", "analytics", "shard"}
 }
 
 // Run executes the named experiment.
@@ -193,6 +197,8 @@ func Run(exp string, cfg Config) (*Report, error) {
 		return h.streamExp()
 	case "analytics":
 		return h.analyticsExp()
+	case "shard":
+		return h.shardExp()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)",
 		exp, strings.Join(Experiments(), ", "))

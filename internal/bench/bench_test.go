@@ -23,8 +23,8 @@ func quickCfg(out *bytes.Buffer) Config {
 }
 
 func TestExperimentsList(t *testing.T) {
-	if len(Experiments()) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(Experiments()))
 	}
 	var out bytes.Buffer
 	for _, exp := range Experiments() {

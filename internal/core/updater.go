@@ -254,8 +254,26 @@ func (u *Updater) AdvanceTo(t float64) (advanced, expired int) {
 	if k <= 0 {
 		return 0, 0
 	}
+	return u.advance(k)
+}
+
+// AdvanceBy slides the window forward by exactly k voxel layers. It is the
+// layer-count form of AdvanceTo for drivers that compute the advance once
+// and replicate it — the distributed stream coordinator broadcasts one k to
+// every rank so all slab windows stay in the same frame. k <= 0 is a no-op.
+func (u *Updater) AdvanceBy(k int) (advanced, expired int) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if k <= 0 {
+		return 0, 0
+	}
+	return u.advance(k)
+}
+
+// advance is the shared body of AdvanceTo and AdvanceBy; k > 0, mu held.
+func (u *Updater) advance(k int) (advanced, expired int) {
 	u.ring.Advance(k)
-	sp = u.ring.Spec()
+	sp := u.ring.Spec()
 	u.pos.spec = sp
 	u.neg.spec = sp
 	// Expire events that cannot contribute to any window layer: the dense
@@ -428,6 +446,45 @@ func (u *Updater) BoxMass(b grid.Box) (float64, error) {
 	}
 	sp := u.ring.Spec()
 	return sk.BoxSum(b) / float64(n) * sp.SRes * sp.SRes * sp.TRes, nil
+}
+
+// BoxSumRaw returns the raw (unnormalized) sum of the window voxels in the
+// logical box, answered from the incremental sketch. It is the mergeable
+// shard primitive: a coordinator sums the raw partials from disjoint slab
+// ranks and applies the global 1/n normalization once, so the merged answer
+// matches a single-process BoxMass over the union of the ranks' events.
+func (u *Updater) BoxSumRaw(b grid.Box) (float64, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	sk, err := u.ensureSketch()
+	if err != nil {
+		return 0, err
+	}
+	return sk.BoxSum(b), nil
+}
+
+// TopKScaled is TopK with a caller-supplied normalization scale instead of
+// the local 1/n. A shard coordinator passes the global 1/n so every rank's
+// candidate densities are bitwise identical to the voxels a single-process
+// scan of the merged, normalized window would see — which keeps the merged
+// selection (including index tie-breaks) exact.
+func (u *Updater) TopKScaled(k int, scale float64) ([]grid.VoxelDensity, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	sk, err := u.ensureSketch()
+	if err != nil {
+		return nil, err
+	}
+	return sk.TopK(k, scale), nil
+}
+
+// RawSnapshot copies the window without normalizing — the values are the
+// accumulated ks·kt/(hs²·ht) contributions. Shard ranks gather raw slabs so
+// the coordinator can merge them and normalize once by the global count.
+func (u *Updater) RawSnapshot(b *grid.Budget) (*grid.Grid, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.ring.Snapshot(b)
 }
 
 // SketchRebuilds reports the cumulative number of sketch blocks rebuilt by

@@ -1,0 +1,249 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/par"
+)
+
+// Cluster is the coordinator's handle on a set of connected rank endpoints:
+// one connection per rank, each carrying the shard protocol with a strict
+// request/response discipline (a per-connection mutex pairs every reply
+// with its request, so batch estimates and multiple shard streams can share
+// the connections).
+type Cluster struct {
+	ranks      []*rankConn
+	nextStream atomic.Uint64
+}
+
+// rankConn serializes calls on one rank connection.
+type rankConn struct {
+	mu   sync.Mutex
+	c    *countingConn
+	addr string
+}
+
+// RankComm is one rank's cumulative communication profile.
+type RankComm struct {
+	Addr string
+	Sent int64 // bytes sent to the rank, including frame prefixes
+	Recv int64 // bytes received from the rank, including frame prefixes
+}
+
+// Connect dials every peer address on the network. On any failure the
+// already established connections are closed and the dial error is
+// attributed to its rank.
+func Connect(n *Network, peers []string) (*Cluster, error) {
+	if len(peers) == 0 {
+		return nil, errors.New("dist: connect needs at least one peer")
+	}
+	c := &Cluster{ranks: make([]*rankConn, len(peers))}
+	for i, addr := range peers {
+		conn, err := n.Dial(addr)
+		if err != nil {
+			c.Close()
+			return nil, rankErr(i, "dial", err)
+		}
+		c.ranks[i] = &rankConn{c: &countingConn{c: conn}, addr: addr}
+	}
+	return c, nil
+}
+
+// Ranks returns the number of connected rank endpoints.
+func (c *Cluster) Ranks() int { return len(c.ranks) }
+
+// Close severs every rank connection. Rank servers release any stream state
+// tied to the connections.
+func (c *Cluster) Close() error {
+	var first error
+	for _, rc := range c.ranks {
+		if rc == nil {
+			continue
+		}
+		if err := rc.c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CommStats reports the cumulative per-rank bytes moved over the cluster's
+// connections (frame prefixes included). Safe to call concurrently with
+// in-flight requests.
+func (c *Cluster) CommStats() []RankComm {
+	out := make([]RankComm, len(c.ranks))
+	for i, rc := range c.ranks {
+		out[i] = RankComm{Addr: rc.addr, Sent: rc.c.sent.Load(), Recv: rc.c.recv.Load()}
+	}
+	return out
+}
+
+// call performs one request/response exchange with a rank. Transport
+// failures are attributed with the caller's phase; a rank-side msgErr reply
+// carries its own phase from the server.
+func (c *Cluster) call(rank int, req []byte, phase string) ([]byte, error) {
+	rc := c.ranks[rank]
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if err := rc.c.Send(req); err != nil {
+		return nil, rankErr(rank, phase, err)
+	}
+	reply, err := rc.c.Recv()
+	if err != nil {
+		return nil, rankErr(rank, phase, err)
+	}
+	if len(reply) >= 4 && le.Uint32(reply) == msgErr {
+		rphase, text, derr := decodeErr(reply)
+		if derr != nil {
+			return nil, rankErr(rank, phase, derr)
+		}
+		return nil, rankErr(rank, rphase, errors.New(text))
+	}
+	return reply, nil
+}
+
+// Estimate computes the STKDE of pts over the cluster: temporal slab
+// carving and halo replication exactly as the single-process simulation
+// did, but the scatter, the per-slab estimation and the gather now cross
+// the cluster's transport. The number of slabs is the connected rank count
+// (clamped to the temporal grid size); surplus ranks idle.
+func (c *Cluster) Estimate(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
+	if opt.Local.AdaptiveBandwidth != nil {
+		return nil, errors.New("dist: adaptive bandwidths are not supported in the distributed estimator")
+	}
+	if opt.Local.NormN != 0 {
+		return nil, errors.New("dist: Local.NormN is set by the driver and must be zero")
+	}
+	alg := opt.Algorithm
+	if alg == "" {
+		alg = core.AlgPBSYM
+	}
+	if !core.ValidAlgorithm(alg) {
+		return nil, fmt.Errorf("dist: unknown algorithm %q", alg)
+	}
+
+	ranks := opt.Ranks
+	if ranks < 1 || ranks > c.Ranks() {
+		ranks = c.Ranks()
+	}
+	slabs := spec.CarveT(ranks)
+	r := len(slabs)
+	st := Stats{Ranks: r, RankPoints: make([]int, r)}
+
+	// Partition: every point goes to its owner slab and to every neighbor
+	// slab its influence box reaches. Scanning pts in order keeps each
+	// rank's list in input order, so per-voxel summation order — and hence
+	// the floating-point result — matches the single-process run.
+	assign := make([][]grid.Point, r)
+	for _, p := range pts {
+		_, _, T := spec.VoxelOf(p)
+		for _, sl := range slabs {
+			if sl.NeedsLayer(T, spec.Ht) {
+				assign[sl.Index] = append(assign[sl.Index], p)
+				if !sl.OwnsLayer(T) {
+					st.ReplicatedPts++
+				}
+			}
+		}
+	}
+
+	threads := opt.Local.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	// The Morton locality pre-pass must use the ROOT spec's frame: a
+	// rank's sub-spec shifts T by the slab offset, which would interleave
+	// different key bits and reorder per-voxel summation relative to the
+	// single-process run, breaking the bitwise contract. Each rank's list
+	// is in input order (see the partition step), so a stable sort by the
+	// root key restricts the global sorted order exactly; the rank servers
+	// always skip their own sort.
+	sortLocal := !opt.Local.NoSort
+
+	type rankReply struct {
+		data         []float64
+		sent, recved int64
+	}
+	replies := make([]rankReply, r)
+	errs := make([]error, r)
+	par.For(r, r, func(i int) {
+		lpts := assign[i]
+		if sortLocal {
+			lpts = grid.SortByMorton(lpts, spec)
+		}
+		req := encodeEstimate(estimateReq{
+			rank: i, threads: threads, normN: len(pts),
+			alg: alg, spec: slabs[i].Spec, pts: lpts,
+		})
+		reply, err := c.call(i, req, "scatter")
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rank, _, data, err := decodeGather(reply)
+		if err != nil {
+			errs[i] = rankErr(i, "gather", err)
+			return
+		}
+		if rank != i {
+			errs[i] = rankErr(i, "gather", fmt.Errorf("reply routed from rank %d", rank))
+			return
+		}
+		replies[i] = rankReply{
+			data:   data,
+			sent:   int64(len(req)) + frameHeaderBytes,
+			recved: int64(len(reply)) + frameHeaderBytes,
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Gather: merge the disjoint slab grids into the global volume.
+	out, err := grid.NewGrid(spec, opt.Local.Budget)
+	if err != nil {
+		return nil, err
+	}
+	for i := range replies {
+		st.RankPoints[i] = len(assign[i])
+		st.ScatterBytes += replies[i].sent
+		st.GatherBytes += replies[i].recved
+		st.Messages += 2
+		data := replies[i].data
+		nt := slabs[i].Spec.Gt
+		if len(data) != spec.Gx*spec.Gy*nt {
+			out.Release()
+			return nil, rankErr(i, "gather", fmt.Errorf("slab grid has %d voxels, want %d", len(data), spec.Gx*spec.Gy*nt))
+		}
+		t0 := slabs[i].T0
+		for X := 0; X < spec.Gx; X++ {
+			for Y := 0; Y < spec.Gy; Y++ {
+				src := data[(X*spec.Gy+Y)*nt : (X*spec.Gy+Y+1)*nt]
+				dst := out.Idx(X, Y, t0)
+				copy(out.Data[dst:dst+nt], src)
+			}
+		}
+	}
+
+	// Imbalance: the classic max-over-mean load ratio on point counts.
+	maxPts, sumPts := 0, 0
+	for _, n := range st.RankPoints {
+		sumPts += n
+		if n > maxPts {
+			maxPts = n
+		}
+	}
+	st.Imbalance = 1
+	if sumPts > 0 {
+		st.Imbalance = float64(maxPts) * float64(r) / float64(sumPts)
+	}
+
+	return &Result{Algorithm: alg, Grid: out, Stats: st}, nil
+}

@@ -1,25 +1,40 @@
-// Package dist simulates distributed-memory space-time kernel density
-// estimation, the explicit future-work item of Saule et al., "Parallel
-// Space-Time Kernel Density Estimation" (ICPP 2017, Section 8), on top of
+// Package dist implements distributed-memory space-time kernel density
+// estimation — the explicit future-work item of Saule et al., "Parallel
+// Space-Time Kernel Density Estimation" (ICPP 2017, Section 8) — on top of
 // the partitioned-execution machinery of repro/internal/grid and
 // repro/internal/core.
 //
 // Model: R ranks, each owning one temporal slab of the voxel grid
-// (grid.Spec.CarveT). One estimation proceeds in four steps:
+// (grid.Spec.CarveT). Each rank is a real protocol endpoint (RankServer)
+// reached over one of two transports behind a single Conn interface: framed
+// TCP for ranks in other processes or on other machines, or a zero-copy
+// in-process channel when ranks share the coordinator's process (Network
+// picks by address scheme, "inproc://name" vs "host:port"). The wire
+// protocol is identical on both paths, so communication statistics are
+// measured bytes either way, and the test suite can assert cross-transport
+// equivalence.
+//
+// One batch estimation (Cluster.Estimate) proceeds in four steps:
 //
 //  1. Partition. Every event belongs to the slab containing its temporal
 //     voxel; events whose temporal bandwidth overlaps a neighboring slab
 //     are additionally replicated there (halo exchange), so each rank can
 //     compute its slab without further communication.
-//  2. Scatter. Each rank's point set is serialized with encoding/binary
-//     and decoded on the "remote" side; the bytes a real MPI scatter would
-//     move are counted, not estimated.
-//  3. Local estimation. Ranks run concurrently (one goroutine per rank via
-//     repro/internal/par), each reusing any of the twelve shared-memory
-//     strategies on its local sub-spec (default PB-SYM) with the global
-//     1/(n·hs²·ht) normalization (core.Options.NormN).
-//  4. Gather. Each rank's slab grid is serialized back, decoded, and the
+//  2. Scatter. Each rank's point set is serialized and sent to its
+//     endpoint together with the slab sub-spec, algorithm name, thread
+//     count and global normalization count.
+//  3. Local estimation. Ranks run concurrently, each reusing any of the
+//     twelve shared-memory strategies on its local sub-spec (default
+//     PB-SYM) with the global 1/(n·hs²·ht) normalization.
+//  4. Gather. Each rank's slab grid comes back in a gather message and the
 //     disjoint slabs are merged into the global density volume.
+//
+// Beyond batch estimation, a Cluster hosts sharded live windows
+// (StreamGroup): a streaming ingest is carved across the ranks with the
+// same owner + halo rule, window advances broadcast a single layer count,
+// and region/hotspot analytics are answered by merging the ranks'
+// incremental block sketches — O(1) partial sums and O(k) candidate lists
+// on the wire instead of O(G) slab grids.
 //
 // Exactness: slab sub-specs sample bitwise-identical voxel centers
 // (grid.Spec.SubSpecT), halo replication is conservative (the kernel
@@ -28,7 +43,7 @@
 // sequential PB-SYM per rank the merged volume is bitwise equal to the
 // single-process PB-SYM result; parallel local strategies agree within
 // floating-point summation-order noise. The test suite asserts ≤1e-9 for
-// R ∈ {1, 2, 4, 7} including non-divisible slab sizes.
+// R ∈ {1, 2, 4, 7} including non-divisible slab sizes, on both transports.
 package dist
 
 import (
@@ -37,14 +52,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
-	"repro/internal/par"
 )
 
-// Options configures a simulated distributed-memory run.
+// Options configures a distributed-memory run.
 type Options struct {
-	// Ranks is the number of simulated ranks R. Values < 1 mean 1; values
-	// above the temporal grid size are clamped so that every rank owns at
-	// least one voxel layer.
+	// Ranks is the number of ranks R. Values < 1 mean 1; values above the
+	// temporal grid size are clamped so that every rank owns at least one
+	// voxel layer.
 	Ranks int
 
 	// Algorithm is the local strategy each rank runs on its slab — any
@@ -54,18 +68,20 @@ type Options struct {
 	// Local configures the per-rank runs: threads within a rank (default
 	// 1, modeling single-core nodes), kernels, the decomposition used by
 	// parallel local strategies, and the memory budget (shared by all
-	// ranks and the gathered output grid). Local.NormN must be zero (the
-	// driver sets it to the global point count) and AdaptiveBandwidth is
-	// not supported.
+	// ranks and the gathered output grid when the ranks are in-process).
+	// Local.NormN must be zero (the driver sets it to the global point
+	// count) and AdaptiveBandwidth is not supported.
 	Local core.Options
 }
 
-// Stats reports the communication profile and balance of a run.
+// Stats reports the communication profile and balance of a run. Byte
+// counts are measured at the transport framing layer (length prefixes
+// included), identical across the TCP and in-process paths.
 type Stats struct {
-	Ranks         int     // simulated ranks R after clamping
+	Ranks         int     // ranks R after clamping
 	Messages      int     // messages exchanged: R scatter + R gather
-	ScatterBytes  int64   // bytes of the serialized point scatter
-	GatherBytes   int64   // bytes of the serialized grid gather
+	ScatterBytes  int64   // bytes of the serialized estimate requests
+	GatherBytes   int64   // bytes of the serialized slab-grid replies
 	ReplicatedPts int     // halo copies beyond each point's single owner
 	Imbalance     float64 // max/mean of per-rank point loads (1 = perfect)
 	RankPoints    []int   // per-rank local point counts (owned + halo)
@@ -78,144 +94,46 @@ type Result struct {
 	Stats     Stats
 }
 
-// Estimate computes the STKDE of pts on spec using R simulated
-// distributed-memory ranks. The returned grid covers the full spec and is
-// identical to the corresponding single-process estimate (see the package
-// comment for the exactness argument).
+// Estimate computes the STKDE of pts on spec using R ranks, self-hosting
+// the ranks on the in-process transport: it spins up R RankServers inside
+// this process, connects a Cluster to them over the real shard protocol,
+// runs one distributed estimation and tears everything down. The returned
+// grid covers the full spec and is identical to the corresponding
+// single-process estimate (see the package comment for the exactness
+// argument). To keep ranks in other processes or on other machines, build
+// the Network/RankServer/Cluster pieces directly.
 func Estimate(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 	if opt.Local.AdaptiveBandwidth != nil {
-		return nil, errors.New("dist: adaptive bandwidths are not supported in the distributed simulation")
+		return nil, errors.New("dist: adaptive bandwidths are not supported in the distributed estimator")
 	}
 	if opt.Local.NormN != 0 {
 		return nil, errors.New("dist: Local.NormN is set by the driver and must be zero")
 	}
-	alg := opt.Algorithm
-	if alg == "" {
-		alg = core.AlgPBSYM
+	if opt.Algorithm != "" && !core.ValidAlgorithm(opt.Algorithm) {
+		return nil, fmt.Errorf("dist: unknown algorithm %q", opt.Algorithm)
 	}
 
-	slabs := spec.CarveT(opt.Ranks)
-	r := len(slabs)
-	st := Stats{Ranks: r, RankPoints: make([]int, r)}
-
-	// Partition: every point goes to its owner slab and to every neighbor
-	// slab its influence box reaches. Scanning pts in order keeps each
-	// rank's list in input order, so per-voxel summation order — and hence
-	// the floating-point result — matches the single-process run.
-	assign := make([][]grid.Point, r)
-	for _, p := range pts {
-		_, _, T := spec.VoxelOf(p)
-		for _, sl := range slabs {
-			if sl.NeedsLayer(T, spec.Ht) {
-				assign[sl.Index] = append(assign[sl.Index], p)
-				if !sl.OwnsLayer(T) {
-					st.ReplicatedPts++
-				}
-			}
+	r := len(spec.CarveT(opt.Ranks))
+	n := NewNetwork()
+	servers := make([]*RankServer, 0, r)
+	defer func() {
+		for _, s := range servers {
+			s.Close()
 		}
-	}
-
-	// Scatter: serialize each rank's payload and decode it rank-side.
-	local := make([][]grid.Point, r)
-	for i := range assign {
-		msg := encodeScatter(i, assign[i])
-		st.ScatterBytes += int64(len(msg))
-		st.Messages++
-		rank, rpts, err := decodeScatter(msg)
+	}()
+	peers := make([]string, r)
+	for i := 0; i < r; i++ {
+		s, err := ListenRank(n, fmt.Sprintf("inproc://rank%d", i), ServerOptions{Local: opt.Local})
 		if err != nil {
-			return nil, err
+			return nil, rankErr(i, "listen", err)
 		}
-		if rank != i {
-			return nil, fmt.Errorf("dist: scatter message routed to rank %d, want %d", rank, i)
-		}
-		local[i] = rpts
-		st.RankPoints[i] = len(rpts)
+		servers = append(servers, s)
+		peers[i] = s.Addr()
 	}
-
-	// Local estimation: one goroutine per rank, each running the chosen
-	// shared-memory strategy on its slab sub-spec.
-	lopt := opt.Local
-	lopt.NormN = len(pts)
-	if lopt.Threads < 1 {
-		lopt.Threads = 1
-	}
-	// The Morton locality pre-pass must use the ROOT spec's frame here: a
-	// rank's sub-spec shifts T by the slab offset, which would interleave
-	// different key bits and reorder per-voxel summation relative to the
-	// single-process run, breaking the bitwise contract. Each rank's list
-	// is in input order (see the partition step), so a stable sort by the
-	// root key restricts the global sorted order exactly; the local runs
-	// then skip their own sort.
-	sortLocal := !lopt.NoSort
-	lopt.NoSort = true
-	results := make([]*core.Result, r)
-	errs := make([]error, r)
-	par.For(r, r, func(i int) {
-		lpts := local[i]
-		if sortLocal {
-			lpts = grid.SortByMorton(lpts, spec)
-		}
-		results[i], errs[i] = core.Estimate(alg, lpts, slabs[i].Spec, lopt)
-	})
-	release := func() {
-		for _, res := range results {
-			if res != nil && res.Grid != nil {
-				res.Grid.Release()
-			}
-		}
-	}
-	for i, err := range errs {
-		if err != nil {
-			release()
-			return nil, fmt.Errorf("dist: rank %d: %w", i, err)
-		}
-	}
-
-	// Gather: serialize each slab grid, decode it, and merge the disjoint
-	// slabs into the global volume.
-	out, err := grid.NewGrid(spec, lopt.Budget)
+	cluster, err := Connect(n, peers)
 	if err != nil {
-		release()
 		return nil, err
 	}
-	for i, res := range results {
-		msg := encodeGather(i, slabs[i].T0, res.Grid.Data)
-		st.GatherBytes += int64(len(msg))
-		st.Messages++
-		_, t0, data, err := decodeGather(msg)
-		if err != nil {
-			release()
-			out.Release()
-			return nil, err
-		}
-		nt := slabs[i].Spec.Gt
-		if t0 != slabs[i].T0 || len(data) != spec.Gx*spec.Gy*nt {
-			release()
-			out.Release()
-			return nil, fmt.Errorf("dist: gather message for rank %d has t0=%d, %d voxels", i, t0, len(data))
-		}
-		for X := 0; X < spec.Gx; X++ {
-			for Y := 0; Y < spec.Gy; Y++ {
-				src := data[(X*spec.Gy+Y)*nt : (X*spec.Gy+Y+1)*nt]
-				dst := out.Idx(X, Y, t0)
-				copy(out.Data[dst:dst+nt], src)
-			}
-		}
-		res.Grid.Release()
-	}
-
-	// Imbalance: the classic max-over-mean load ratio on point counts.
-	maxPts, sumPts := 0, 0
-	for _, n := range st.RankPoints {
-		sumPts += n
-		if n > maxPts {
-			maxPts = n
-		}
-	}
-	st.Imbalance = 1
-	if sumPts > 0 {
-		st.Imbalance = float64(maxPts) * float64(r) / float64(sumPts)
-	}
-
-	return &Result{Algorithm: alg, Grid: out, Stats: st}, nil
+	defer cluster.Close()
+	return cluster.Estimate(pts, spec, opt)
 }

@@ -137,8 +137,8 @@ func TestHaloReplicationBruteForce(t *testing.T) {
 }
 
 // TestCommunicationProfile pins down the message accounting: R scatter plus
-// R gather messages, scatter bytes matching the serialized point payloads,
-// gather bytes matching the slab grids.
+// R gather messages, scatter bytes matching the framed estimate requests,
+// gather bytes matching the framed slab-grid replies.
 func TestCommunicationProfile(t *testing.T) {
 	spec := testSpec(t, 40, 1)
 	pts := testPoints(800, spec.Domain, 9)
@@ -152,11 +152,14 @@ func TestCommunicationProfile(t *testing.T) {
 	if st.Messages != 2*r {
 		t.Errorf("Messages = %d, want %d", st.Messages, 2*r)
 	}
-	wantScatter := int64(r*scatterHeaderBytes) + int64(pointBytes)*(int64(len(pts))+int64(st.ReplicatedPts))
+	// Each scatter frame: prefix + the estimate request (fixed header, spec,
+	// algorithm name, then the rank's owned + halo points).
+	perReq := int64(frameHeaderBytes + 28 + specBytes + len(core.AlgPBSYM))
+	wantScatter := r*perReq + int64(pointBytes)*(int64(len(pts))+int64(st.ReplicatedPts))
 	if st.ScatterBytes != wantScatter {
 		t.Errorf("ScatterBytes = %d, want %d", st.ScatterBytes, wantScatter)
 	}
-	wantGather := int64(r*gatherHeaderBytes) + 8*int64(spec.Voxels())
+	wantGather := int64(r*(frameHeaderBytes+gatherHeaderBytes)) + 8*int64(spec.Voxels())
 	if st.GatherBytes != wantGather {
 		t.Errorf("GatherBytes = %d, want %d", st.GatherBytes, wantGather)
 	}

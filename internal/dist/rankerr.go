@@ -1,0 +1,28 @@
+package dist
+
+import "fmt"
+
+// RankError attributes a distributed failure to the rank and protocol phase
+// it happened in, so a multi-rank failure is diagnosable from the error
+// alone. Unwrap exposes the cause for errors.Is/As (a rank-local
+// grid.ErrMemoryBudget stays recognizable on the in-process transport; over
+// TCP the cause crosses the wire as text and is wrapped in a plain error).
+type RankError struct {
+	Rank  int    // rank index in [0, Ranks)
+	Phase string // protocol phase: dial, scatter, estimate, gather, create, ingest, advance, query, snapshot, close
+	Err   error
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("dist: rank %d: %s: %v", e.Rank, e.Phase, e.Err)
+}
+
+func (e *RankError) Unwrap() error { return e.Err }
+
+// rankErr wraps err with rank and phase attribution; nil stays nil.
+func rankErr(rank int, phase string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &RankError{Rank: rank, Phase: phase, Err: err}
+}

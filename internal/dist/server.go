@@ -1,0 +1,255 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ServerOptions configures a rank endpoint.
+type ServerOptions struct {
+	// Local supplies the rank-side estimation resources: memory budget,
+	// kernels, decomposition, engine. The per-request knobs — algorithm,
+	// threads, normalization count, spec, points — arrive over the wire;
+	// function-valued options (kernels, adaptive bandwidth) cannot cross a
+	// real network and therefore live here, configured by whoever starts
+	// the rank process.
+	Local core.Options
+}
+
+// RankServer hosts one rank endpoint: it accepts coordinator connections
+// and serves the shard protocol on each, one goroutine per connection.
+// State is per-connection — a coordinator's streams die with its
+// connection, so a crashed coordinator cannot leak rank-side windows.
+type RankServer struct {
+	ln  Listener
+	opt ServerOptions
+
+	mu     sync.Mutex
+	conns  map[Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenRank binds a rank endpoint on the network and starts serving.
+func ListenRank(n *Network, addr string, opt ServerOptions) (*RankServer, error) {
+	ln, err := n.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &RankServer{ln: ln, opt: opt, conns: make(map[Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the bound address (with the inproc:// scheme or the actual
+// TCP port for ":0" binds), suitable for Cluster peers lists.
+func (s *RankServer) Addr() string { return s.ln.Addr() }
+
+// Close stops accepting, severs every live connection (releasing their
+// stream state) and waits for the handlers to drain.
+func (s *RankServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *RankServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+// rankStream is one live sharded window hosted for a connection.
+type rankStream struct {
+	up *core.Updater
+}
+
+func (s *RankServer) serveConn(c Conn) {
+	defer s.wg.Done()
+	streams := make(map[uint64]*rankStream)
+	defer func() {
+		for _, st := range streams {
+			st.up.Release()
+		}
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			return
+		}
+		reply := s.handle(streams, msg)
+		if err := c.Send(reply); err != nil {
+			return
+		}
+	}
+}
+
+// handle serves one request message, returning the encoded reply. Every
+// failure becomes a msgErr reply carrying the phase, so the coordinator can
+// attribute it (RankError) instead of losing the connection.
+func (s *RankServer) handle(streams map[uint64]*rankStream, msg []byte) []byte {
+	if len(msg) < 4 {
+		return encodeErr("decode", "message too short for a kind")
+	}
+	switch le.Uint32(msg) {
+	case msgEstimate:
+		q, err := decodeEstimate(msg)
+		if err != nil {
+			return encodeErr("decode", err.Error())
+		}
+		return s.handleEstimate(q)
+	case msgStreamCreate:
+		id, threads, spec, err := decodeStreamCreate(msg)
+		if err != nil {
+			return encodeErr("decode", err.Error())
+		}
+		if _, ok := streams[id]; ok {
+			return encodeErr("create", fmt.Sprintf("stream %d already exists", id))
+		}
+		opt := s.opt.Local
+		opt.Threads = threads
+		up, err := core.NewUpdater(spec, core.UpdaterConfig{Options: opt})
+		if err != nil {
+			return encodeErr("create", err.Error())
+		}
+		streams[id] = &rankStream{up: up}
+		return encodeOK(0, 0)
+	case msgStreamClose:
+		id, err := decodeStreamClose(msg)
+		if err != nil {
+			return encodeErr("decode", err.Error())
+		}
+		if st, ok := streams[id]; ok {
+			st.up.Release()
+			delete(streams, id)
+		}
+		return encodeOK(0, 0)
+	case msgIngest:
+		id, pts, err := decodeIngest(msg)
+		if err != nil {
+			return encodeErr("decode", err.Error())
+		}
+		st, ok := streams[id]
+		if !ok {
+			return encodeErr("ingest", fmt.Sprintf("no stream %d", id))
+		}
+		st.up.Add(pts...)
+		return encodeOK(int64(len(pts)), 0)
+	case msgAdvance:
+		id, k, newNeeded, err := decodeAdvance(msg)
+		if err != nil {
+			return encodeErr("decode", err.Error())
+		}
+		st, ok := streams[id]
+		if !ok {
+			return encodeErr("advance", fmt.Sprintf("no stream %d", id))
+		}
+		adv, exp := st.up.AdvanceBy(k)
+		st.up.Add(newNeeded...)
+		return encodeOK(int64(adv), int64(exp))
+	case msgRegion:
+		id, box, err := decodeRegion(msg)
+		if err != nil {
+			return encodeErr("decode", err.Error())
+		}
+		st, ok := streams[id]
+		if !ok {
+			return encodeErr("query", fmt.Sprintf("no stream %d", id))
+		}
+		sum, err := st.up.BoxSumRaw(box)
+		if err != nil {
+			return encodeErr("query", err.Error())
+		}
+		return encodeSum(sum, st.up.SketchRebuilds())
+	case msgTopK:
+		id, k, scale, err := decodeTopK(msg)
+		if err != nil {
+			return encodeErr("decode", err.Error())
+		}
+		st, ok := streams[id]
+		if !ok {
+			return encodeErr("query", fmt.Sprintf("no stream %d", id))
+		}
+		cands, err := st.up.TopKScaled(k, scale)
+		if err != nil {
+			return encodeErr("query", err.Error())
+		}
+		return encodeTopKAns(st.up.SketchRebuilds(), cands)
+	case msgSnapshot:
+		id, err := decodeSnapshot(msg)
+		if err != nil {
+			return encodeErr("decode", err.Error())
+		}
+		st, ok := streams[id]
+		if !ok {
+			return encodeErr("snapshot", fmt.Sprintf("no stream %d", id))
+		}
+		g, err := st.up.RawSnapshot(nil)
+		if err != nil {
+			return encodeErr("snapshot", err.Error())
+		}
+		reply := encodeGather(0, 0, g.Data)
+		g.Release()
+		return reply
+	default:
+		return encodeErr("decode", fmt.Sprintf("unexpected message kind %d", le.Uint32(msg)))
+	}
+}
+
+// handleEstimate runs one batch slab estimation with the server's local
+// resources and the request's wire-carried knobs. The reply is the raw slab
+// grid in a gather message (t0 = 0: the coordinator knows its slab table).
+func (s *RankServer) handleEstimate(q estimateReq) []byte {
+	opt := s.opt.Local
+	opt.Threads = q.threads
+	if opt.Threads < 1 {
+		opt.Threads = 1
+	}
+	opt.NormN = q.normN
+	// The coordinator pre-sorts each rank's points by the ROOT spec's
+	// Morton key (the sub-spec frame would derange the bits); a rank-local
+	// sort would break the bitwise contract.
+	opt.NoSort = true
+	res, err := core.Estimate(q.alg, q.pts, q.spec, opt)
+	if err != nil {
+		return encodeErr("estimate", err.Error())
+	}
+	reply := encodeGather(q.rank, 0, res.Grid.Data)
+	res.Grid.Release()
+	return reply
+}

@@ -1,0 +1,499 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/par"
+)
+
+// StreamGroup is a live sliding window sharded across the cluster's ranks
+// by temporal slab carving: rank i hosts a core.Updater on slab i's
+// sub-spec and receives exactly the events whose temporal influence reaches
+// its slab (owner + halo, the batch estimator's replication rule applied to
+// a stream). The coordinator keeps the authoritative live list — every
+// ingested event, with a bitmask of the ranks it has been replicated to —
+// because the global normalization count n and the halo top-up on window
+// advances both need it.
+//
+// Analytics never gather grids. Region mass and single-voxel reads merge
+// O(1) raw partial sums from the ranks' incremental sketches; hotspots
+// merge O(k) candidate lists scaled rank-side by the *global* 1/n, which
+// keeps every candidate density bitwise identical to a single-process scan
+// and therefore preserves the selection's index tie-breaks (grid.MergeTopK).
+// Snapshot is the one O(G) operation left, retained as the baseline the
+// "shard" benchmark compares the sketch gather against.
+//
+// Window advances broadcast one layer count k to every rank, so all slab
+// windows stay in the same frame forever. An event newly entering a rank's
+// halo (it was wholly ahead of that slab before the advance) is shipped
+// with the advance message; its influence was disjoint from the slab's old
+// window, so adding it cannot double-count on surviving layers.
+//
+// StreamGroup is safe for concurrent use: a single mutex orders mutations
+// and queries exactly like the single-process Updater's.
+type StreamGroup struct {
+	mu       sync.Mutex
+	c        *Cluster
+	id       uint64
+	spec     grid.Spec   // root window spec; OT advances with the window
+	slabs    []grid.Slab // carved once; T0/T1 are window-relative layers
+	live     []liveEvent
+	rebuilds []int64 // last reported per-rank sketch rebuild counters
+	released bool
+}
+
+// liveEvent is one ingested event plus its rank-replication mask.
+type liveEvent struct {
+	p    grid.Point
+	mask uint64
+}
+
+// maxStreamRanks bounds the replication bitmask width.
+const maxStreamRanks = 64
+
+// NewStream creates a sharded live window over the cluster: the window
+// spec's time axis is carved into one slab per connected rank (clamped to
+// the layer count and the bitmask width) and each rank builds an empty
+// slab Updater with the given thread count.
+func (c *Cluster) NewStream(spec grid.Spec, threads int) (*StreamGroup, error) {
+	ranks := c.Ranks()
+	if ranks > maxStreamRanks {
+		ranks = maxStreamRanks
+	}
+	slabs := spec.CarveT(ranks)
+	if threads < 1 {
+		threads = 1
+	}
+	g := &StreamGroup{
+		c:        c,
+		id:       c.nextStream.Add(1),
+		spec:     spec,
+		slabs:    slabs,
+		rebuilds: make([]int64, len(slabs)),
+	}
+	errs := make([]error, len(slabs))
+	par.For(len(slabs), len(slabs), func(i int) {
+		reply, err := c.call(i, encodeStreamCreate(g.id, threads, slabs[i].Spec), "create")
+		if err == nil {
+			_, _, err = decodeOK(reply)
+			err = rankErr(i, "create", err)
+		}
+		errs[i] = err
+	})
+	for _, err := range errs {
+		if err != nil {
+			g.closeRanks()
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// closeRanks best-effort closes the rank-side stream state.
+func (g *StreamGroup) closeRanks() {
+	par.For(len(g.slabs), len(g.slabs), func(i int) {
+		if reply, err := g.c.call(i, encodeStreamClose(g.id), "close"); err == nil {
+			decodeOK(reply)
+		}
+	})
+}
+
+// layerOf returns the window-relative temporal layer of t as a float (no
+// clamping, no int conversion — comparisons against slab bounds stay exact
+// and overflow-free for any input).
+func (g *StreamGroup) layerOf(t float64) float64 {
+	return math.Floor((t-g.spec.Domain.T0)/g.spec.TRes) - float64(g.spec.OT)
+}
+
+// needs reports whether an event at window-relative layer tl (float; may be
+// NaN for absurd inputs, which fails both comparisons) can influence slab sl.
+func needs(sl grid.Slab, tl float64, ht int) bool {
+	return tl >= float64(sl.T0-ht) && tl <= float64(sl.T1+ht)
+}
+
+// Add ingests events: each is routed to every rank whose slab its temporal
+// influence reaches (possibly none, for events far ahead of the window —
+// they still count toward n and are shipped later by AdvanceTo when their
+// halo arrives) and appended to the coordinator's live list.
+func (g *StreamGroup) Add(pts ...grid.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.released {
+		return errors.New("dist: stream released")
+	}
+	batches := make([][]grid.Point, len(g.slabs))
+	for _, p := range pts {
+		tl := g.layerOf(p.T)
+		var mask uint64
+		for i, sl := range g.slabs {
+			if needs(sl, tl, g.spec.Ht) {
+				mask |= 1 << uint(i)
+				batches[i] = append(batches[i], p)
+			}
+		}
+		g.live = append(g.live, liveEvent{p: p, mask: mask})
+	}
+	return g.fanOut("ingest", func(i int) ([]byte, bool) {
+		if len(batches[i]) == 0 {
+			return nil, false
+		}
+		return encodeIngest(g.id, batches[i]), true
+	}, nil)
+}
+
+// AdvanceTo slides every rank's window forward so the last layer covers
+// time t, expiring events exactly like the single-process Updater (same
+// float expressions, same order) and topping up each rank's halo with the
+// events that newly reach its slab. It returns the layers advanced and the
+// events expired.
+func (g *StreamGroup) AdvanceTo(t float64) (advanced, expired int, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.released {
+		return 0, 0, errors.New("dist: stream released")
+	}
+	sp := g.spec
+	rel := math.Floor((t - sp.Domain.T0) / sp.TRes)
+	// Same conversion guard as core.Updater.AdvanceTo: NaN and out-of-range
+	// targets must no-op, not corrupt the frame offset.
+	if !(rel > -(1<<52) && rel < 1<<52) {
+		return 0, 0, nil
+	}
+	k := int(rel) - (sp.OT + sp.Gt - 1)
+	if k <= 0 {
+		return 0, 0, nil
+	}
+	g.spec.OT += k
+	sp = g.spec
+	// Expire exactly like the single-process window: an event whose support
+	// ends strictly before the first layer's center is inert everywhere.
+	firstCenter := sp.CenterT(0)
+	kept := g.live[:0]
+	for _, ev := range g.live {
+		if ev.p.T+sp.HT < firstCenter {
+			expired++
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	g.live = kept
+	// Halo top-up: events that newly reach a slab (their influence was
+	// disjoint from that slab's old window, so the rank-side Add cannot
+	// double-count on surviving layers).
+	batches := make([][]grid.Point, len(g.slabs))
+	for idx := range g.live {
+		tl := g.layerOf(g.live[idx].p.T)
+		for i, sl := range g.slabs {
+			bit := uint64(1) << uint(i)
+			if g.live[idx].mask&bit != 0 {
+				continue
+			}
+			if needs(sl, tl, sp.Ht) {
+				g.live[idx].mask |= bit
+				batches[i] = append(batches[i], g.live[idx].p)
+			}
+		}
+	}
+	err = g.fanOut("advance", func(i int) ([]byte, bool) {
+		return encodeAdvance(g.id, k, batches[i]), true
+	}, nil)
+	return k, expired, err
+}
+
+// fanOut sends one request per rank (skipping ranks where build returns
+// false), decodes msgOK acknowledgements, and returns the first failure.
+// onReply, when non-nil, receives each rank's OK payload.
+func (g *StreamGroup) fanOut(phase string, build func(i int) ([]byte, bool), onReply func(i int, a, b int64)) error {
+	errs := make([]error, len(g.slabs))
+	par.For(len(g.slabs), len(g.slabs), func(i int) {
+		req, ok := build(i)
+		if !ok {
+			return
+		}
+		reply, err := g.c.call(i, req, phase)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		a, b, err := decodeOK(reply)
+		if err != nil {
+			errs[i] = rankErr(i, phase, err)
+			return
+		}
+		if onReply != nil {
+			onReply(i, a, b)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Spec returns the current window spec (OT reflects every advance).
+func (g *StreamGroup) Spec() grid.Spec {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.spec
+}
+
+// Window returns the continuous time range [t0, t1) the window covers.
+func (g *StreamGroup) Window() (t0, t1 float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sp := g.spec
+	t0 = sp.Domain.T0 + float64(sp.OT)*sp.TRes
+	return t0, t0 + float64(sp.Gt)*sp.TRes
+}
+
+// N returns the number of live events in the window.
+func (g *StreamGroup) N() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.live)
+}
+
+// Live returns a copy of the live events in ingest order.
+func (g *StreamGroup) Live() []grid.Point {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	pts := make([]grid.Point, len(g.live))
+	for i, ev := range g.live {
+		pts[i] = ev.p
+	}
+	return pts
+}
+
+// At returns the normalized density at window voxel (X, Y, T): a one-voxel
+// raw region read from the owning rank (the sketch's boundary scan returns
+// the exact raw voxel), normalized by the global live count.
+func (g *StreamGroup) At(X, Y, T int) (float64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.released {
+		return 0, errors.New("dist: stream released")
+	}
+	n := len(g.live)
+	if n == 0 {
+		return 0, nil
+	}
+	for i, sl := range g.slabs {
+		if T >= sl.T0 && T <= sl.T1 {
+			b := grid.Box{X0: X, X1: X, Y0: Y, Y1: Y, T0: T - sl.T0, T1: T - sl.T0}
+			reply, err := g.c.call(i, encodeRegion(g.id, b), "query")
+			if err != nil {
+				return 0, err
+			}
+			v, rb, err := decodeSum(reply)
+			if err != nil {
+				return 0, rankErr(i, "query", err)
+			}
+			g.rebuilds[i] = rb
+			return v / float64(n), nil
+		}
+	}
+	return 0, fmt.Errorf("dist: voxel layer %d outside the window", T)
+}
+
+// BoxMass integrates the normalized window density over a logical voxel
+// box: each overlapping rank answers the raw partial sum of its slab's
+// share from its incremental sketch, and the partials are combined in rank
+// order (deterministic summation) before the single global normalization.
+func (g *StreamGroup) BoxMass(b grid.Box) (float64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.released {
+		return 0, errors.New("dist: stream released")
+	}
+	n := len(g.live)
+	if n == 0 {
+		return 0, nil
+	}
+	sp := g.spec
+	b = b.Clip(sp.Bounds())
+	if b.Empty() {
+		return 0, nil
+	}
+	sums := make([]float64, len(g.slabs))
+	hits := make([]bool, len(g.slabs))
+	errs := make([]error, len(g.slabs))
+	par.For(len(g.slabs), len(g.slabs), func(i int) {
+		sl := g.slabs[i]
+		t0, t1 := b.T0, b.T1
+		if t0 < sl.T0 {
+			t0 = sl.T0
+		}
+		if t1 > sl.T1 {
+			t1 = sl.T1
+		}
+		if t0 > t1 {
+			return
+		}
+		lb := grid.Box{X0: b.X0, X1: b.X1, Y0: b.Y0, Y1: b.Y1, T0: t0 - sl.T0, T1: t1 - sl.T0}
+		reply, err := g.c.call(i, encodeRegion(g.id, lb), "query")
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		v, rb, err := decodeSum(reply)
+		if err != nil {
+			errs[i] = rankErr(i, "query", err)
+			return
+		}
+		sums[i], hits[i] = v, true
+		g.rebuilds[i] = rb
+	})
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	total := 0.0
+	for i, v := range sums {
+		if hits[i] {
+			total += v
+		}
+	}
+	return total / float64(n) * sp.SRes * sp.SRes * sp.TRes, nil
+}
+
+// TopK returns the k highest-density voxels of the merged window. Every
+// rank selects its own k best with the global 1/n scale (so candidate
+// values are bitwise the single-process scan's), candidates shift into the
+// window frame, and MergeTopK re-selects under the same total order —
+// every window voxel is owned by exactly one rank, so the global top-k is a
+// subset of the union of the per-rank lists.
+func (g *StreamGroup) TopK(k int) ([]grid.VoxelDensity, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.released {
+		return nil, errors.New("dist: stream released")
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	scale := 0.0 // an empty window is exactly zero, like Snapshot
+	if n := len(g.live); n > 0 {
+		scale = 1 / float64(n)
+	}
+	lists := make([][]grid.VoxelDensity, len(g.slabs))
+	errs := make([]error, len(g.slabs))
+	par.For(len(g.slabs), len(g.slabs), func(i int) {
+		reply, err := g.c.call(i, encodeTopK(g.id, k, scale), "query")
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rb, cands, err := decodeTopKAns(reply)
+		if err != nil {
+			errs[i] = rankErr(i, "query", err)
+			return
+		}
+		for j := range cands {
+			cands[j].T += g.slabs[i].T0
+		}
+		lists[i] = cands
+		g.rebuilds[i] = rb
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return grid.MergeTopK(g.spec, k, lists...), nil
+}
+
+// Snapshot gathers every rank's raw slab grid, merges the disjoint slabs
+// and normalizes once by the global live count — the O(G) baseline the
+// sketch-merging queries above exist to avoid.
+func (g *StreamGroup) Snapshot(b *grid.Budget) (*grid.Grid, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.released {
+		return nil, errors.New("dist: stream released")
+	}
+	sp := g.spec
+	out, err := grid.NewGrid(sp, b)
+	if err != nil {
+		return nil, err
+	}
+	datas := make([][]float64, len(g.slabs))
+	errs := make([]error, len(g.slabs))
+	par.For(len(g.slabs), len(g.slabs), func(i int) {
+		reply, err := g.c.call(i, encodeSnapshot(g.id), "snapshot")
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		_, _, data, err := decodeGather(reply)
+		if err != nil {
+			errs[i] = rankErr(i, "snapshot", err)
+			return
+		}
+		datas[i] = data
+	})
+	for _, err := range errs {
+		if err != nil {
+			out.Release()
+			return nil, err
+		}
+	}
+	for i, data := range datas {
+		nt := g.slabs[i].T1 - g.slabs[i].T0 + 1
+		if len(data) != sp.Gx*sp.Gy*nt {
+			out.Release()
+			return nil, rankErr(i, "snapshot", fmt.Errorf("slab grid has %d voxels, want %d", len(data), sp.Gx*sp.Gy*nt))
+		}
+		t0 := g.slabs[i].T0
+		for X := 0; X < sp.Gx; X++ {
+			for Y := 0; Y < sp.Gy; Y++ {
+				src := data[(X*sp.Gy+Y)*nt : (X*sp.Gy+Y+1)*nt]
+				dst := out.Idx(X, Y, t0)
+				copy(out.Data[dst:dst+nt], src)
+			}
+		}
+	}
+	if n := len(g.live); n > 0 {
+		inv := 1 / float64(n)
+		for i := range out.Data {
+			out.Data[i] *= inv
+		}
+	} else {
+		out.Zero()
+	}
+	return out, nil
+}
+
+// SketchRebuilds reports the cumulative sketch blocks rebuilt across all
+// ranks, as of the latest analytics replies.
+func (g *StreamGroup) SketchRebuilds() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var total int64
+	for _, rb := range g.rebuilds {
+		total += rb
+	}
+	return total
+}
+
+// Release closes the rank-side stream state. The group must not be used
+// afterwards.
+func (g *StreamGroup) Release() {
+	g.mu.Lock()
+	if g.released {
+		g.mu.Unlock()
+		return
+	}
+	g.released = true
+	g.mu.Unlock()
+	g.closeRanks()
+}

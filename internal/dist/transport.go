@@ -1,0 +1,346 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The transport layer moves whole messages between a shard coordinator and
+// its ranks. There is exactly one wire protocol (codec.go, wire.go) and two
+// transports behind one interface:
+//
+//   - TCPTransport frames messages with a u32 length prefix over real
+//     sockets — ranks in other processes or on other machines;
+//   - InprocTransport hands the encoded []byte over a channel — ranks in
+//     the same process skip the kernel round trip but still pay (and
+//     count) the exact serialized bytes, so communication stats mean the
+//     same thing on both paths.
+//
+// The split mirrors the gRPC proxy / in-process bridge pattern: callers
+// pick a transport by address scheme (see Network) and everything above the
+// Conn interface is transport-agnostic.
+
+// Conn is one bidirectional message pipe. Send and Recv move whole
+// messages; implementations are safe for one concurrent sender plus one
+// concurrent receiver (the request/response discipline of rankConn
+// serializes callers anyway).
+type Conn interface {
+	Send(msg []byte) error
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// Listener accepts inbound rank connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Addr() string
+	Close() error
+}
+
+// Transport can host rank endpoints and dial them.
+type Transport interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// errClosed is returned by operations on a closed inproc endpoint.
+var errClosed = errors.New("dist: connection closed")
+
+// ---------------------------------------------------------------- TCP ----
+
+// TCPTransport carries frames over real TCP sockets. Timeout bounds every
+// write and every payload read; waiting for the *next* frame's length
+// prefix is deliberately unbounded, so idle connections survive and a slow
+// estimation on the far side does not kill the link — but a peer that dies
+// mid-frame fails within Timeout instead of hanging forever.
+type TCPTransport struct {
+	// Timeout is the per-operation deadline (default 30s).
+	Timeout time.Duration
+}
+
+func (t *TCPTransport) timeout() time.Duration {
+	if t.Timeout > 0 {
+		return t.Timeout
+	}
+	return 30 * time.Second
+}
+
+// Listen binds a real socket; addr ":0" picks a free port (Addr reports it).
+func (t *TCPTransport) Listen(addr string) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{ln: ln, t: t}, nil
+}
+
+func (t *TCPTransport) Dial(addr string) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, t.timeout())
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: c, t: t}, nil
+}
+
+type tcpListener struct {
+	ln net.Listener
+	t  *TCPTransport
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: c, t: l.t}, nil
+}
+
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
+func (l *tcpListener) Close() error { return l.ln.Close() }
+
+type tcpConn struct {
+	c net.Conn
+	t *TCPTransport
+}
+
+func (c *tcpConn) Send(msg []byte) error {
+	if err := c.c.SetWriteDeadline(time.Now().Add(c.t.timeout())); err != nil {
+		return err
+	}
+	return writeFrame(c.c, msg)
+}
+
+func (c *tcpConn) Recv() ([]byte, error) {
+	// Block without a deadline for the length prefix (an idle or busy peer
+	// is fine), then bound the payload read: once the prefix arrived the
+	// rest of the frame should follow promptly.
+	if err := c.c.SetReadDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	var hdr [frameHeaderBytes]byte
+	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := le.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("dist: empty frame")
+	}
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("dist: frame prefix announces %d bytes, limit is %d", n, maxFrameBytes)
+	}
+	if err := c.c.SetReadDeadline(time.Now().Add(c.t.timeout())); err != nil {
+		return nil, err
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(c.c, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+func (c *tcpConn) Close() error { return c.c.Close() }
+
+// ------------------------------------------------------------- inproc ----
+
+// InprocTransport connects ranks living in the same process: Send passes
+// the encoded message through a channel with zero copies. Encoders allocate
+// a fresh buffer per message and never reuse it after Send, which is what
+// makes the hand-off safe.
+type InprocTransport struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+}
+
+func NewInprocTransport() *InprocTransport {
+	return &InprocTransport{listeners: make(map[string]*inprocListener)}
+}
+
+func (t *InprocTransport) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.listeners[addr]; ok {
+		return nil, fmt.Errorf("dist: inproc address %q already bound", addr)
+	}
+	l := &inprocListener{t: t, addr: addr, accept: make(chan *inprocConn), done: make(chan struct{})}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+func (t *InprocTransport) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	l := t.listeners[addr]
+	t.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("dist: no inproc listener at %q", addr)
+	}
+	a, b := inprocPipe()
+	select {
+	case l.accept <- b:
+		return a, nil
+	case <-l.done:
+		return nil, fmt.Errorf("dist: inproc listener at %q closed", addr)
+	}
+}
+
+type inprocListener struct {
+	t      *InprocTransport
+	addr   string
+	accept chan *inprocConn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, errClosed
+	}
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.t.mu.Lock()
+		delete(l.t.listeners, l.addr)
+		l.t.mu.Unlock()
+	})
+	return nil
+}
+
+// inprocPipe builds two connected endpoints. Each direction is a small
+// buffered channel: the request/response discipline keeps at most one
+// message in flight per direction, the buffer just decouples Send from the
+// peer's Recv scheduling.
+func inprocPipe() (a, b *inprocConn) {
+	ab := make(chan []byte, 4)
+	ba := make(chan []byte, 4)
+	done := make(chan struct{})
+	var once sync.Once
+	a = &inprocConn{out: ab, in: ba, done: done, once: &once}
+	b = &inprocConn{out: ba, in: ab, done: done, once: &once}
+	return a, b
+}
+
+type inprocConn struct {
+	out  chan []byte
+	in   chan []byte
+	done chan struct{}
+	once *sync.Once
+}
+
+func (c *inprocConn) Send(msg []byte) error {
+	select {
+	case c.out <- msg:
+		return nil
+	case <-c.done:
+		return errClosed
+	}
+}
+
+func (c *inprocConn) Recv() ([]byte, error) {
+	select {
+	case msg := <-c.in:
+		return msg, nil
+	case <-c.done:
+		// Drain anything handed over before the close raced in.
+		select {
+		case msg := <-c.in:
+			return msg, nil
+		default:
+			return nil, errClosed
+		}
+	}
+}
+
+func (c *inprocConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+// ------------------------------------------------------------ network ----
+
+// Network bundles the two transports behind address-scheme dispatch:
+// "inproc://name" stays in-process, anything else is a TCP host:port. One
+// Network per process is typical; inproc names are scoped to it.
+type Network struct {
+	TCP    TCPTransport
+	inproc *InprocTransport
+}
+
+func NewNetwork() *Network {
+	return &Network{inproc: NewInprocTransport()}
+}
+
+const inprocScheme = "inproc://"
+
+func (n *Network) transport(addr string) (Transport, string) {
+	if name, ok := strings.CutPrefix(addr, inprocScheme); ok {
+		return n.inproc, name
+	}
+	return &n.TCP, addr
+}
+
+// Listen hosts a rank endpoint at addr, picking the transport by scheme.
+func (n *Network) Listen(addr string) (Listener, error) {
+	t, a := n.transport(addr)
+	ln, err := t.Listen(a)
+	if err != nil {
+		return nil, err
+	}
+	if t == n.inproc {
+		return prefixedListener{ln}, nil
+	}
+	return ln, nil
+}
+
+// Dial connects to a rank endpoint, picking the transport by scheme.
+func (n *Network) Dial(addr string) (Conn, error) {
+	t, a := n.transport(addr)
+	return t.Dial(a)
+}
+
+// prefixedListener re-attaches the inproc:// scheme to Addr so a dial of
+// the reported address round-trips through the scheme dispatch.
+type prefixedListener struct{ Listener }
+
+func (l prefixedListener) Addr() string { return inprocScheme + l.Listener.Addr() }
+
+// ----------------------------------------------------------- counting ----
+
+// countingConn measures the bytes a connection moves, including the frame
+// prefix, so TCP and inproc report identical numbers for identical message
+// sequences. Counters are atomics: metrics endpoints read them while calls
+// are in flight.
+type countingConn struct {
+	c          Conn
+	sent, recv atomic.Int64
+}
+
+func (c *countingConn) Send(msg []byte) error {
+	if err := c.c.Send(msg); err != nil {
+		return err
+	}
+	c.sent.Add(int64(len(msg)) + frameHeaderBytes)
+	return nil
+}
+
+func (c *countingConn) Recv() ([]byte, error) {
+	msg, err := c.c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	c.recv.Add(int64(len(msg)) + frameHeaderBytes)
+	return msg, nil
+}
+
+func (c *countingConn) Close() error { return c.c.Close() }

@@ -1,0 +1,145 @@
+package dist
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// wireCorpus returns one well-formed message of every protocol kind.
+func wireCorpus(t testing.TB) [][]byte {
+	spec, err := grid.NewSpec(grid.Domain{GX: 20, GY: 16, GT: 12}, 1, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []grid.Point{{X: 1, Y: 2, T: 3}, {X: 4.5, Y: 6.25, T: 7.125}}
+	return [][]byte{
+		encodeScatter(3, pts),
+		encodeGather(2, 5, []float64{1, 2.5, -3}),
+		encodeEstimate(estimateReq{rank: 1, threads: 2, normN: 42, alg: "pb-sym", spec: spec, pts: pts}),
+		encodeErr("scatter", "boom"),
+		encodeOK(7, -1),
+		encodeStreamCreate(9, 2, spec),
+		encodeStreamClose(9),
+		encodeIngest(9, pts),
+		encodeAdvance(9, 3, pts),
+		encodeRegion(9, grid.Box{X0: 1, X1: 4, Y0: 0, Y1: 3, T0: 2, T1: 6}),
+		encodeSum(0.25, 11),
+		encodeTopK(9, 5, 0.5),
+		encodeTopKAns(4, []grid.VoxelDensity{{X: 1, Y: 2, T: 3, V: 0.5}}),
+		encodeSnapshot(9),
+	}
+}
+
+// TestDecodeAnyCorpus: every well-formed message decodes, and every strict
+// prefix of it is rejected — a truncated frame can never decode as a valid
+// shorter message of the same kind.
+func TestDecodeAnyCorpus(t *testing.T) {
+	for i, msg := range wireCorpus(t) {
+		if err := decodeAny(msg); err != nil {
+			t.Fatalf("corpus[%d] (kind %d): %v", i, le.Uint32(msg), err)
+		}
+		for cut := 0; cut < len(msg); cut++ {
+			if err := decodeAny(msg[:cut]); err == nil {
+				t.Fatalf("corpus[%d] (kind %d): truncation to %d/%d bytes decoded without error",
+					i, le.Uint32(msg), cut, len(msg))
+			}
+		}
+	}
+}
+
+// TestDecodeCorruptMessages rejects structurally corrupt payloads: trailing
+// garbage, absurd element counts, unknown kinds, and non-finite spec fields.
+func TestDecodeCorruptMessages(t *testing.T) {
+	corpus := wireCorpus(t)
+	for i, msg := range corpus {
+		withTrailer := append(append([]byte(nil), msg...), 0xEE)
+		if err := decodeAny(withTrailer); err == nil {
+			t.Errorf("corpus[%d] (kind %d): trailing byte decoded without error", i, le.Uint32(msg))
+		}
+	}
+
+	huge := encodeIngest(1, nil)
+	le.PutUint32(huge[12:], 1<<31-1) // count says 2^31-1 points, zero bytes follow
+	if err := decodeAny(huge); err == nil {
+		t.Error("ingest with absurd point count decoded without error")
+	}
+
+	unknown := make([]byte, 8)
+	le.PutUint32(unknown, 999)
+	if err := decodeAny(unknown); err == nil {
+		t.Error("unknown message kind decoded without error")
+	}
+
+	if err := decodeAny(nil); err == nil {
+		t.Error("empty message decoded without error")
+	}
+}
+
+// FuzzDecode throws arbitrary bytes at the dispatching decoder: it must
+// never panic and never allocate unboundedly, whatever the input claims.
+func FuzzDecode(f *testing.F) {
+	for _, msg := range wireCorpus(f) {
+		f.Add(msg)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = decodeAny(data) // must not panic
+	})
+}
+
+// limitedReader fails the test if more than the framed prefix is read,
+// proving the frame layer rejects an oversized length announcement before
+// attempting to allocate or read the payload.
+type limitedReader struct {
+	t    *testing.T
+	data []byte
+	off  int
+}
+
+func (r *limitedReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		r.t.Fatal("frame layer read past the length prefix of an invalid frame")
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestOversizedFramePrefixErrors: a length prefix above maxFrameBytes (or
+// zero) must fail before any payload is read or allocated — a corrupt or
+// malicious peer cannot make the receiver allocate gigabytes.
+func TestOversizedFramePrefixErrors(t *testing.T) {
+	for _, n := range []uint32{0, maxFrameBytes + 1, 1<<32 - 1} {
+		prefix := make([]byte, frameHeaderBytes)
+		le.PutUint32(prefix, n)
+		if _, err := readFrame(&limitedReader{t: t, data: prefix}); err == nil {
+			t.Errorf("frame with declared length %d read without error", n)
+		}
+	}
+}
+
+// TestTruncatedFrame: a frame whose payload is shorter than its prefix
+// announces must surface an unexpected-EOF error, not a short message.
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte("hello wire")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		if _, err := readFrame(bytes.NewReader(whole[:cut])); err == nil {
+			t.Fatalf("frame truncated to %d/%d bytes read without error", cut, len(whole))
+		}
+	}
+	msg, err := readFrame(bytes.NewReader(whole))
+	if err != nil || string(msg) != "hello wire" {
+		t.Fatalf("round trip: %q, %v", msg, err)
+	}
+	if _, err := readFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+}

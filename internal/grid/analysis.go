@@ -278,6 +278,30 @@ func (g *Grid) TopK(k int) []VoxelDensity {
 	return h.drain(g.Spec.Gt, g.Spec.Gy)
 }
 
+// MergeTopK merges per-shard top-k candidate lists into the global top-k
+// under the spec's frame: candidates must already be in the spec's logical
+// coordinates and share one normalization scale. Because every voxel is
+// owned by exactly one shard and each shard reports its k best, the global
+// top-k is a subset of the union, and re-selecting with the same total
+// order ("higher density first, ties toward the lower flat index") yields
+// exactly the list a sequential scan of the merged grid would produce.
+func MergeTopK(spec Spec, k int, lists ...[]VoxelDensity) []VoxelDensity {
+	if k <= 0 {
+		return nil
+	}
+	h := newTopKSelector(k)
+	for _, list := range lists {
+		for _, c := range list {
+			idx := (c.X*spec.Gy+c.Y)*spec.Gt + c.T
+			if h.full() && c.V < h.floor().v {
+				continue
+			}
+			h.offer(idx, c.V)
+		}
+	}
+	return h.drain(spec.Gt, spec.Gy)
+}
+
 // Threshold returns the voxel boxes (grown greedily along T runs) where
 // density meets or exceeds the given level; a primitive cluster extraction
 // for alerting ("which space-time regions are hot?"). Runs are reported as

@@ -66,9 +66,11 @@ func TestCompactSupport(t *testing.T) {
 		ang := 2 * math.Pi * float64(a) / 65536
 		r := 1 + 3*float64(b)/65536
 		u, v := r*math.Cos(ang), r*math.Sin(ang)
-		for _, k := range allSpatial() {
-			if k.Eval(u, v) != 0 {
-				return false
+		if u*u+v*v >= 1 { // r=1 can round just inside the support
+			for _, k := range allSpatial() {
+				if k.Eval(u, v) != 0 {
+					return false
+				}
 			}
 		}
 		for _, k := range allTemporal() {

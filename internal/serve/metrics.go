@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/dist"
 )
 
 // metrics aggregates the server's operational counters into a private
@@ -35,6 +37,9 @@ type metrics struct {
 
 	sketchHits     expvar.Int // region/hotspot/job answers served from a sketch
 	sketchRebuilds expvar.Int // pyramid builds + stream sketch blocks rebuilt
+
+	shardGathers expvar.Int   // cross-shard gathers (sketch merges + snapshots)
+	shardLatency *latencyHist // wall time of those gathers
 }
 
 func newMetrics() *metrics {
@@ -59,7 +64,19 @@ func newMetrics() *metrics {
 	met.m.Set("sketch_rebuilds", &met.sketchRebuilds)
 	met.m.Set("latency_p50_ms", expvar.Func(func() any { return met.latency.quantile(0.50) * 1e3 }))
 	met.m.Set("latency_p99_ms", expvar.Func(func() any { return met.latency.quantile(0.99) * 1e3 }))
+	met.shardLatency = newLatencyHist(1024)
+	met.m.Set("shard_gathers", &met.shardGathers)
+	met.m.Set("shard_gather_p50_ms", expvar.Func(func() any { return met.shardLatency.quantile(0.50) * 1e3 }))
+	met.m.Set("shard_gather_p99_ms", expvar.Func(func() any { return met.shardLatency.quantile(0.99) * 1e3 }))
 	return met
+}
+
+// publishShard exposes the connected cluster's rank count and cumulative
+// per-rank communication profile (bytes sent/received, frame prefixes
+// included) in /debug/vars. Called once, when the shard cluster connects.
+func (m *metrics) publishShard(cl *dist.Cluster) {
+	m.m.Set("shard_ranks", expvar.Func(func() any { return cl.Ranks() }))
+	m.m.Set("shard_comm", expvar.Func(func() any { return cl.CommStats() }))
 }
 
 // latencyHist keeps a bounded ring of recent request latencies and answers

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/grid"
 )
 
@@ -78,6 +79,24 @@ type Config struct {
 	// its whole lifetime, so the cap keeps a client from turning the cache
 	// into pinned rings.
 	MaxStreams int
+
+	// Shard, when non-nil with peers, backs every live stream with the
+	// named rank cluster instead of a local window ring: ingest is carved
+	// across the ranks by temporal slab, and region/hotspot queries are
+	// answered by merging the ranks' incremental sketches — O(1) partial
+	// sums and O(k) candidate lists on the wire instead of O(G) grids.
+	Shard *ShardConfig
+}
+
+// ShardConfig names the rank cluster a Server shards live streams across.
+type ShardConfig struct {
+	// Peers are the rank endpoint addresses, in rank order: "host:port"
+	// for TCP ranks or "inproc://name" for ranks hosted in this process.
+	Peers []string
+
+	// Network supplies the transports (default dist.NewNetwork()). Pass
+	// the network the in-process ranks listen on when using inproc peers.
+	Network *dist.Network
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +157,13 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup // in-flight estimation jobs, drained by Shutdown
 
+	// Shard cluster, connected lazily on the first stream creation so a
+	// daemon with unreachable peers still serves its batch endpoints.
+	shardMu  sync.Mutex
+	shardCl  *dist.Cluster
+	shardErr error
+	shardUp  bool // a connect was attempted (shardCl/shardErr are final)
+
 	// testHookEstimate, when non-nil, runs at the start of every actual
 	// estimation (after coalescing and pool admission). Tests use it to
 	// hold an estimation in flight deterministically.
@@ -196,9 +222,34 @@ func (s *Server) addDataset(pts []grid.Point) (*dataset, bool) {
 	return ds, created
 }
 
+// shardCluster returns the connected rank cluster, dialing the configured
+// peers on first use. It returns (nil, nil) when no shard peers are
+// configured; a failed connect is sticky, so every stream creation reports
+// the same dial error instead of re-dialing dead peers.
+func (s *Server) shardCluster() (*dist.Cluster, error) {
+	if s.cfg.Shard == nil || len(s.cfg.Shard.Peers) == 0 {
+		return nil, nil
+	}
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	if !s.shardUp {
+		s.shardUp = true
+		n := s.cfg.Shard.Network
+		if n == nil {
+			n = dist.NewNetwork()
+		}
+		s.shardCl, s.shardErr = dist.Connect(n, s.cfg.Shard.Peers)
+		if s.shardErr == nil {
+			s.met.publishShard(s.shardCl)
+		}
+	}
+	return s.shardCl, s.shardErr
+}
+
 // Shutdown stops accepting new estimation jobs and waits for in-flight
 // jobs to complete (so their grids land in the cache) or for the context
-// to expire. The HTTP listener itself is the caller's to drain (see
+// to expire, then severs the shard cluster connections if any were made.
+// The HTTP listener itself is the caller's to drain (see
 // http.Server.Shutdown in cmd/stkded).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
@@ -209,12 +260,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("serve: shutdown deadline exceeded with estimations in flight")
+		err = fmt.Errorf("serve: shutdown deadline exceeded with estimations in flight")
 	}
+	s.shardMu.Lock()
+	s.shardUp = true // no reconnects after shutdown
+	if s.shardCl != nil {
+		s.shardCl.Close()
+		s.shardCl, s.shardErr = nil, errShuttingDown
+	}
+	s.shardMu.Unlock()
+	return err
 }
 
 // Estimations returns the number of actual estimation runs performed (the

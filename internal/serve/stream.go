@@ -6,17 +6,57 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/grid"
 )
 
+// liveWindow is the sliding-window estimator behind a stream: either a
+// local core.Updater ring, or a dist.StreamGroup sharding the window
+// across a rank cluster when the server was configured with shard peers.
+// The two expose one contract, so every stream operation — ingest,
+// advance, voxel reads, sketch analytics, snapshots — is written once.
+type liveWindow interface {
+	Spec() grid.Spec
+	Window() (t0, t1 float64)
+	N() int
+	Live() []grid.Point
+	Add(pts ...grid.Point) error
+	AdvanceTo(t float64) (advanced, expired int, err error)
+	At(X, Y, T int) (float64, error)
+	BoxMass(b grid.Box) (float64, error)
+	TopK(k int) ([]grid.VoxelDensity, error)
+	Snapshot(b *grid.Budget) (*grid.Grid, error)
+	SketchRebuilds() int64
+	Release()
+}
+
+// localWindow adapts *core.Updater — whose mutators cannot fail — to the
+// liveWindow contract.
+type localWindow struct{ *core.Updater }
+
+func (w localWindow) Add(pts ...grid.Point) error {
+	w.Updater.Add(pts...)
+	return nil
+}
+
+func (w localWindow) AdvanceTo(t float64) (advanced, expired int, err error) {
+	advanced, expired = w.Updater.AdvanceTo(t)
+	return advanced, expired, nil
+}
+
+func (w localWindow) At(X, Y, T int) (float64, error) {
+	return w.Updater.At(X, Y, T), nil
+}
+
 // stream is one mutable (live-ingest) dataset: a registry entry whose
 // event set grows by POST /v1/datasets/{id}/events, paired with a
-// long-lived core.Updater that keeps the window density grid exact in
-// place — O(Δn·Hs²·Ht) per ingest instead of a full re-estimate. The
-// updater's ring is charged against the server's cache budget, so live
-// windows and cached cubes compete in one accounted pool.
+// long-lived window estimator that keeps the window density grid exact in
+// place — O(Δn·Hs²·Ht) per ingest instead of a full re-estimate. A local
+// window's ring is charged against the server's cache budget, so live
+// windows and cached cubes compete in one accounted pool; a sharded
+// window's rings live in the rank processes, so nothing is charged here.
 //
 // st.mu serializes mutations (ingest, advance) with version-checked cache
 // fills: a mutation invalidates the dataset's cached grids and query
@@ -24,12 +64,13 @@ import (
 // under the same lock before publishing, so a stale cube can never outlive
 // the mutation that obsoleted it.
 type stream struct {
-	id   string
-	ds   *dataset
-	base grid.Spec // creation spec (OT == 0); requests resolve against it
+	id      string
+	ds      *dataset
+	base    grid.Spec // creation spec (OT == 0); requests resolve against it
+	sharded bool      // window lives on the rank cluster, not in this process
 
 	mu      sync.Mutex
-	up      *core.Updater
+	up      liveWindow
 	deleted bool // set by deleteStream; every mutation checks it under mu
 }
 
@@ -72,7 +113,11 @@ func (st *stream) voxelDensity(spec grid.Spec, x, y, t float64) (density float64
 	// CoversT holds, so VoxelOf's clamped layer is the true layer.
 	X, Y, T := spec.VoxelOf(grid.Point{X: x, Y: y, T: t})
 	t0, t1 := st.up.Window()
-	return st.up.At(X, Y, T), [3]int{X, Y, T}, [2]float64{t0, t1}, true
+	dens, err := st.up.At(X, Y, T)
+	if err != nil { // sharded transport failure: fall back to the evaluator
+		return 0, [3]int{}, [2]float64{}, false
+	}
+	return dens, [3]int{X, Y, T}, [2]float64{t0, t1}, true
 }
 
 // sketchBoxMass answers a region query for the live window straight from
@@ -88,6 +133,7 @@ func (s *Server) sketchBoxMass(st *stream, spec grid.Spec, b grid.Box) (mass flo
 	if st.deleted || spec != st.up.Spec() {
 		return 0, 0, false
 	}
+	defer s.observeShardGather(st)()
 	before := st.up.SketchRebuilds()
 	mass, err := st.up.BoxMass(b)
 	if err != nil {
@@ -109,6 +155,7 @@ func (s *Server) sketchTopK(st *stream, spec grid.Spec, k int) (top []grid.Voxel
 	if st.deleted || spec != st.up.Spec() {
 		return nil, 0, false
 	}
+	defer s.observeShardGather(st)()
 	before := st.up.SketchRebuilds()
 	top, err := st.up.TopK(k)
 	if err != nil {
@@ -120,6 +167,20 @@ func (s *Server) sketchTopK(st *stream, spec grid.Spec, k int) (top []grid.Voxel
 		}
 	}
 	return top, st.up.SketchRebuilds() - before, true
+}
+
+// observeShardGather times one cross-shard gather (a sketch merge or a
+// snapshot) for the shard metrics, returning a no-op for local streams so
+// call sites need no branching.
+func (s *Server) observeShardGather(st *stream) func() {
+	if !st.sharded {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() {
+		s.met.shardGathers.Add(1)
+		s.met.shardLatency.Observe(time.Since(t0))
+	}
 }
 
 // evictForSketch makes room in the cache budget for a stream's lazy ring
@@ -190,13 +251,18 @@ func (t *streamTable) count() int {
 	return len(t.m)
 }
 
-// pinnedBytes is the byte total of all live window rings (their specs
-// never resize, so the creation spec's size is exact).
+// pinnedBytes is the byte total of all live window rings held in this
+// process (their specs never resize, so the creation spec's size is
+// exact). Sharded windows keep their rings in the rank processes and are
+// not counted.
 func (t *streamTable) pinnedBytes() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var sum int64
 	for _, st := range t.m {
+		if st.sharded {
+			continue
+		}
 		sum += st.base.Bytes()
 	}
 	return sum
@@ -214,15 +280,26 @@ func (t *streamTable) list() []*stream {
 	return out
 }
 
-// createStream registers a new live stream on the given window spec. The
-// window ring is charged to the cache budget (evicting cached cubes to
-// make room); creation fails with grid.ErrMemoryBudget when the pinned
-// stream share would exceed half the budget.
+// createStream registers a new live stream on the given window spec. With
+// shard peers configured the window is carved across the rank cluster
+// (nothing charged locally); otherwise the window ring is charged to the
+// cache budget (evicting cached cubes to make room), and creation fails
+// with grid.ErrMemoryBudget when the pinned stream share would exceed half
+// the budget.
 func (s *Server) createStream(spec grid.Spec) (*stream, error) {
 	s.streams.createMu.Lock()
 	defer s.streams.createMu.Unlock()
 	if n := s.streams.count(); n >= s.cfg.MaxStreams {
 		return nil, fmt.Errorf("serve: %d live streams already registered (limit %d); raise MaxStreams", n, s.cfg.MaxStreams)
+	}
+	if cl, err := s.shardCluster(); err != nil {
+		return nil, err
+	} else if cl != nil {
+		sg, err := cl.NewStream(spec, s.cfg.Threads)
+		if err != nil {
+			return nil, err
+		}
+		return s.registerStream(sg, spec, true), nil
 	}
 	// Stream rings are pinned for the server's lifetime, so cap their
 	// total share at half the cache budget: one oversized window must
@@ -260,11 +337,17 @@ func (s *Server) createStream(spec grid.Spec) (*stream, error) {
 			return nil, err
 		}
 	}
+	return s.registerStream(localWindow{up}, spec, false), nil
+}
+
+// registerStream binds a created window to a fresh stream id and registry
+// entry. Callers hold createMu.
+func (s *Server) registerStream(up liveWindow, spec grid.Spec, sharded bool) *stream {
 	id := s.streams.nextID()
-	st := &stream{id: id, ds: s.reg.addStream(id), base: spec, up: up}
+	st := &stream{id: id, ds: s.reg.addStream(id), base: spec, sharded: sharded, up: up}
 	s.streams.put(st)
 	s.met.streams.Add(1)
-	return st, nil
+	return st
 }
 
 // ingestChunk bounds how long st.mu is held during one ingest: a huge CSV
@@ -289,7 +372,10 @@ func (s *Server) streamIngest(st *stream, pts []grid.Point) (total int, err erro
 			st.mu.Unlock()
 			return total, errStreamDeleted
 		}
-		st.up.Add(chunk...)
+		if err := st.up.Add(chunk...); err != nil {
+			st.mu.Unlock()
+			return total, err
+		}
 		total = st.ds.appendPoints(chunk)
 		s.invalidateStream(st)
 		s.met.streamEvents.Add(int64(n))
@@ -307,7 +393,10 @@ func (s *Server) streamAdvance(st *stream, t float64) (advanced, expired int, er
 	if st.deleted {
 		return 0, 0, errStreamDeleted
 	}
-	advanced, expired = st.up.AdvanceTo(t)
+	advanced, expired, err = st.up.AdvanceTo(t)
+	if err != nil {
+		return 0, 0, err
+	}
 	if advanced > 0 {
 		st.ds.replacePoints(st.up.Live())
 		s.invalidateStream(st)
@@ -363,7 +452,9 @@ func (s *Server) streamResult(st *stream, k estimateKey) (*core.Result, error) {
 		// to the cache only if no mutation raced the copy.
 		v := st.ds.ver()
 		st.mu.Unlock()
+		done := s.observeShardGather(st)
 		g, err := st.up.Snapshot(nil)
+		done()
 		if err != nil {
 			return nil, err
 		}

@@ -73,20 +73,55 @@ func AnalyzeSchedule(pts []Point, spec Spec, opt Options, loadAware bool) (Stats
 	return core.AnalyzePD(pts, spec, opt, loadAware)
 }
 
-// Distributed-memory simulation (the paper's future-work item): temporal
-// slab sharding across simulated ranks with serialized scatter/gather.
+// Distributed-memory estimation (the paper's future-work item): temporal
+// slab sharding across rank endpoints speaking a framed shard protocol
+// over real transports — TCP between processes or machines, a zero-copy
+// in-process channel when ranks share the coordinator's process.
 type (
-	// DistOptions configures a simulated distributed-memory run.
+	// DistOptions configures a distributed-memory run.
 	DistOptions = dist.Options
 	// DistResult is a distributed estimation outcome (grid plus
 	// communication statistics).
 	DistResult = dist.Result
 	// DistStats reports message counts, bytes moved, and rank balance.
 	DistStats = dist.Stats
+
+	// ShardNetwork multiplexes the two shard transports by address
+	// scheme: "inproc://name" endpoints ride the in-process channel
+	// transport, anything else is dialed as framed TCP.
+	ShardNetwork = dist.Network
+	// ShardRank is a listening rank endpoint serving the shard protocol:
+	// batch slab estimates and sharded live-stream windows.
+	ShardRank = dist.RankServer
+	// ShardRankOptions configures a rank endpoint's local estimation.
+	ShardRankOptions = dist.ServerOptions
+	// ShardCluster is a coordinator's handle on connected rank endpoints.
+	ShardCluster = dist.Cluster
+	// RankError attributes a distributed failure to a rank and a protocol
+	// phase (dial, scatter, estimate, gather, ingest, advance, query, ...).
+	RankError = dist.RankError
 )
 
-// EstimateDistributed computes the STKDE on a simulated distributed-memory
-// machine (see repro/internal/dist for the model).
+// NewShardNetwork creates a transport multiplexer for shard endpoints.
+func NewShardNetwork() *ShardNetwork { return dist.NewNetwork() }
+
+// ListenShardRank starts a rank endpoint on addr ("host:port" for TCP,
+// "inproc://name" for in-process) and serves until Close.
+func ListenShardRank(n *ShardNetwork, addr string, opt ShardRankOptions) (*ShardRank, error) {
+	return dist.ListenRank(n, addr, opt)
+}
+
+// ConnectShard dials the rank endpoints at peers, in rank order, returning
+// the coordinator handle used for distributed estimation (and by the
+// serving subsystem for sharded streams, via ServeConfig.Shard).
+func ConnectShard(n *ShardNetwork, peers []string) (*ShardCluster, error) {
+	return dist.Connect(n, peers)
+}
+
+// EstimateDistributed computes the STKDE on a distributed-memory machine
+// self-hosted on the in-process transport (see repro/internal/dist for the
+// model and the exactness argument). To place ranks in other processes,
+// build the ShardNetwork/ShardRank/ShardCluster pieces directly.
 func EstimateDistributed(pts []Point, spec Spec, opt DistOptions) (*DistResult, error) {
 	return dist.Estimate(pts, spec, opt)
 }

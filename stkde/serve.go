@@ -14,8 +14,14 @@ import (
 // repro/internal/serve for the endpoint reference.
 type (
 	// ServeConfig configures a DensityServer (cache bytes, worker pool,
-	// default algorithm). The zero value is production-safe.
+	// default algorithm, optional shard peers). The zero value is
+	// production-safe.
 	ServeConfig = serve.Config
+	// ShardServeConfig names the rank cluster a DensityServer shards its
+	// live streams across (ServeConfig.Shard): ingest is carved over the
+	// ranks by temporal slab and region/hotspot queries are answered by
+	// merging the ranks' incremental sketches.
+	ShardServeConfig = serve.ShardConfig
 	// DensityServer is the serving subsystem; it implements http.Handler,
 	// so it mounts directly on an http.Server or test mux.
 	DensityServer = serve.Server
