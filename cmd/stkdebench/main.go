@@ -17,9 +17,12 @@
 // "analytics" experiment measures region-mass and top-k hotspot query
 // latency: the naive O(G) grid scans versus the summed-volume pyramid on
 // static grids, and the O(G) snapshot path versus the incremental ring
-// sketch on live streams. With -json they emit the stkde-bench/v1
-// trajectories committed as BENCH_stream.json and BENCH_analytics.json.
-// (-experiment is an alias for -exp.)
+// sketch on live streams. The "recover" experiment measures the durability
+// subsystem's boot path: cold WAL replay (events/sec) versus snapshot
+// warm-restart recovery of a journaled stream. With -json they emit the
+// stkde-bench/v1 trajectories committed as BENCH_stream.json,
+// BENCH_analytics.json and BENCH_recover.json. (-experiment is an alias
+// for -exp.)
 package main
 
 import (

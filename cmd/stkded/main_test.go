@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -125,5 +126,117 @@ func TestHandlerEndToEnd(t *testing.T) {
 func TestRunHelpExitsZero(t *testing.T) {
 	if err := run([]string{"-h"}); err != nil {
 		t.Fatalf("-h should succeed, got %v", err)
+	}
+}
+
+func TestParseArgsWAL(t *testing.T) {
+	o, err := parseArgs([]string{"-wal-dir", "/tmp/w", "-wal-sync", "interval", "-snapshot-every", "128"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.WAL == nil || o.cfg.WAL.Dir != "/tmp/w" || o.cfg.WAL.SnapshotEvery != 128 {
+		t.Fatalf("WAL config = %+v", o.cfg.WAL)
+	}
+	if o.cfg.WAL.Sync.String() != "interval" {
+		t.Fatalf("sync policy = %v", o.cfg.WAL.Sync)
+	}
+	if o, err := parseArgs(nil); err != nil || o.cfg.WAL != nil {
+		t.Fatalf("WAL enabled without -wal-dir: %+v (%v)", o.cfg.WAL, err)
+	}
+	if _, err := parseArgs([]string{"-wal-dir", "/tmp/w", "-wal-sync", "sometimes"}); err == nil {
+		t.Fatal("bad -wal-sync accepted")
+	}
+	if _, err := parseArgs([]string{"-snapshot-every", "5"}); err == nil {
+		t.Fatal("-snapshot-every without -wal-dir accepted")
+	}
+}
+
+func TestEnsureWALDir(t *testing.T) {
+	dir := t.TempDir()
+	nested := filepath.Join(dir, "a", "b", "wal")
+	if err := ensureWALDir(nested); err != nil {
+		t.Fatalf("create missing dir: %v", err)
+	}
+	if fi, err := os.Stat(nested); err != nil || !fi.IsDir() {
+		t.Fatalf("dir not created: %v", err)
+	}
+	// A path under a regular file can never be a writable directory (this
+	// also holds for root, unlike permission bits).
+	blocker := filepath.Join(dir, "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ensureWALDir(filepath.Join(blocker, "wal")); err == nil {
+		t.Fatal("path under a regular file accepted")
+	}
+}
+
+// TestWALRestartRecoversStreams drives the daemon's own wiring (config,
+// Recover before serving) across a simulated crash: a first handler
+// ingests into a durable stream and is abandoned, a second handler built
+// from the same flags recovers it and answers queries.
+func TestWALRestartRecoversStreams(t *testing.T) {
+	dir := t.TempDir()
+	o, err := parseArgs([]string{"-wal-dir", dir, "-wal-sync", "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ensureWALDir(o.cfg.WAL.Dir); err != nil {
+		t.Fatal(err)
+	}
+	boot := func() (*stkde.DensityServer, *httptest.Server) {
+		srv := stkde.NewDensityServer(o.cfg)
+		if _, err := srv.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		return srv, httptest.NewServer(srv)
+	}
+	_, ts1 := boot()
+	body := `{"sres":2,"tres":1,"hs":6,"ht":3,"domain":{"x0":0,"y0":0,"t0":0,"gx":40,"gy":30,"gt":20}}`
+	resp, err := http.Post(ts1.URL+"/v1/streams", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		Dataset string `json:"dataset"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.Dataset == "" {
+		t.Fatalf("create stream: status %d, %+v", resp.StatusCode, created)
+	}
+	resp, err = http.Post(ts1.URL+"/v1/datasets/"+created.Dataset+"/events", "text/csv",
+		strings.NewReader("20,15,10\n21,14,10.5\n19,16,9.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	ts1.Close() // crash: no Shutdown, the journal is simply abandoned
+
+	_, ts2 := boot()
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/v1/query?dataset=" + created.Dataset +
+		"&sres=2&tres=1&hs=6&ht=3&x=20&y=15&t=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q struct {
+		Density float64 `json:"density"`
+		Error   string  `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after restart: status %d: %s", resp.StatusCode, q.Error)
+	}
+	if q.Density <= 0 {
+		t.Fatalf("recovered stream answers density %g, want > 0", q.Density)
 	}
 }

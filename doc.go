@@ -63,4 +63,14 @@
 // serving tier's /v1/region and /v1/hotspots answer from sketches on both
 // static grids and live windows — the "analytics" experiment of
 // cmd/stkdebench records the trajectory in BENCH_analytics.json.
+//
+// Live streams are durable: repro/internal/wal is a segmented write-ahead
+// log (CRC-framed records, group-commit fsync batching, torn-tail
+// truncation on recovery) with periodic window snapshots, so the serving
+// tier journals every stream mutation before acknowledging it and a
+// crashed daemon restarts warm — snapshot load plus bounded tail replay,
+// bitwise-identical to an uninterrupted run. Enabled by the -wal-dir /
+// -wal-sync / -snapshot-every flags of cmd/stkded, inspected offline by
+// cmd/stkdewal, and measured by the "recover" experiment of cmd/stkdebench
+// (BENCH_recover.json).
 package repro

@@ -30,6 +30,9 @@
 //	        the real rank protocol: O(G) slab-grid gathers vs merging the
 //	        ranks' incremental sketches (the committed BENCH_shard.json
 //	        record)
+//	recover warm-restart trajectory: cold WAL replay (events/sec) vs
+//	        snapshot-load recovery of a journaled stream (the committed
+//	        BENCH_recover.json record)
 //
 // Absolute times differ from the paper's 2x8-core Xeon; the harness aims to
 // reproduce the qualitative shape: which algorithm wins where, the rough
@@ -157,7 +160,7 @@ type Report struct {
 func Experiments() []string {
 	return []string{"table2", "table3", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "dist", "serve",
-		"kernels", "stream", "analytics", "shard"}
+		"kernels", "stream", "analytics", "shard", "recover"}
 }
 
 // Run executes the named experiment.
@@ -199,6 +202,8 @@ func Run(exp string, cfg Config) (*Report, error) {
 		return h.analyticsExp()
 	case "shard":
 		return h.shardExp()
+	case "recover":
+		return h.recoverExp()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)",
 		exp, strings.Join(Experiments(), ", "))

@@ -23,8 +23,8 @@ func quickCfg(out *bytes.Buffer) Config {
 }
 
 func TestExperimentsList(t *testing.T) {
-	if len(Experiments()) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(Experiments()))
 	}
 	var out bytes.Buffer
 	for _, exp := range Experiments() {
@@ -85,6 +85,34 @@ func TestStreamExperimentShape(t *testing.T) {
 		}
 	}
 	if !strings.Contains(out.String(), "Streaming") {
+		t.Error("missing table banner")
+	}
+}
+
+func TestRecoverExperimentShape(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := Run("recover", quickCfg(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Seconds <= 0 {
+			t.Errorf("%s: non-positive replay time %g", r.Instance, r.Seconds)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("%s: snapshot speedup not recorded: %+v", r.Instance, r)
+		}
+		for _, key := range []string{"records", "journal_bytes", "replay_s",
+			"replay_events_per_sec", "snapshot_load_s", "snapshot_bytes"} {
+			if v, ok := r.Extra[key]; !ok || v <= 0 {
+				t.Errorf("%s: extra %q = %g (missing or non-positive)", r.Instance, key, v)
+			}
+		}
+	}
+	if !strings.Contains(out.String(), "Durability") {
 		t.Error("missing table banner")
 	}
 }

@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/wal"
+)
+
+// recoverExp measures the durability subsystem's warm-restart path: how
+// fast a crashed stream comes back from its write-ahead log. For every
+// instance it journals the full event set (create + chunked ingest
+// records, the same framing the serving layer writes), then times the two
+// recovery modes cmd/stkded can hit at boot:
+//
+//	replay(ms)    cold recovery — scan the journal and re-apply every
+//	              record through core.Updater (no snapshot on disk)
+//	events/s      the replay rate that cold time implies
+//	snap(ms)      warm recovery — load the latest checkpoint snapshot and
+//	              replay the (empty) tail beyond it
+//	speedup       replay / snap: what a checkpoint buys at restart
+//
+// Both timings include the wal.Open scan itself, so they are the real
+// boot-path cost. The committed BENCH_recover.json records this
+// trajectory.
+func (h *harness) recoverExp() (*Report, error) {
+	rep := &Report{Exp: "recover",
+		Title: "Durability: WAL replay vs snapshot warm restart"}
+	insts, err := h.instances()
+	if err != nil {
+		return nil, err
+	}
+	tw := newTable(h.cfg.Out, "Instance", "n", "records", "journal(KB)",
+		"replay(ms)", "events/s", "snap(ms)", "speedup")
+	for _, inst := range insts {
+		s, pts, err := h.load(inst)
+		if err != nil {
+			return nil, err
+		}
+		row, err := h.recoverInstance(inst.Name, pts, s.Spec)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+		tw.row(inst.Name,
+			fmt.Sprintf("%d", len(pts)),
+			fmt.Sprintf("%.0f", row.Extra["records"]),
+			fmt.Sprintf("%.0f", row.Extra["journal_bytes"]/1024),
+			fmt.Sprintf("%.2f", row.Seconds*1e3),
+			fmt.Sprintf("%.0f", row.Extra["replay_events_per_sec"]),
+			fmt.Sprintf("%.2f", row.Extra["snapshot_load_s"]*1e3),
+			fmt.Sprintf("%.1f", row.Speedup))
+	}
+	tw.flush(rep.Title, h.cfg)
+	return rep, nil
+}
+
+// recoverChunk mirrors the serving layer's ingest batching: one journal
+// record per chunk of events.
+const recoverChunk = 4096
+
+// recoverInstance journals one instance and times both recovery modes.
+// Row.Seconds is the cold full-replay time; Row.Speedup is replay/snap.
+func (h *harness) recoverInstance(name string, pts []grid.Point, spec grid.Spec) (Row, error) {
+	dir, err := os.MkdirTemp("", "stkde-recover-")
+	if err != nil {
+		return Row{}, err
+	}
+	defer os.RemoveAll(dir)
+	// SyncNone: the experiment times recovery, not the ingest-side fsync
+	// policy, and the journal is scratch data.
+	opt := wal.Options{Sync: wal.SyncNone}
+
+	// Write the journal the way the serving layer would have.
+	l, _, err := wal.Open(dir, opt)
+	if err != nil {
+		return Row{}, err
+	}
+	records := 1
+	_, err = l.Append(wal.Record{Kind: wal.KindCreate, Spec: spec})
+	for i := 0; err == nil && i < len(pts); i += recoverChunk {
+		j := i + recoverChunk
+		if j > len(pts) {
+			j = len(pts)
+		}
+		_, err = l.Append(wal.Record{Kind: wal.KindIngest, Points: pts[i:j]})
+		records++
+	}
+	if err == nil {
+		err = l.Close()
+	}
+	if err != nil {
+		return Row{}, err
+	}
+	journalBytes, err := recoverDirBytes(wal.ListSegments(dir))
+	if err != nil {
+		return Row{}, err
+	}
+
+	// Cold recovery: open + full tail replay, best of Repeats. The last
+	// pass's updater survives to produce the checkpoint below.
+	var replaySec float64
+	var up *core.Updater
+	for r := 0; r < h.cfg.Repeats; r++ {
+		if up != nil {
+			up.Release()
+		}
+		t0 := time.Now()
+		lg, rec, err := wal.Open(dir, opt)
+		if err != nil {
+			return Row{}, err
+		}
+		if up, err = recoverReplay(rec); err != nil {
+			lg.Close()
+			return Row{}, err
+		}
+		sec := time.Since(t0).Seconds()
+		if err := lg.Close(); err != nil {
+			return Row{}, err
+		}
+		if r == 0 || sec < replaySec {
+			replaySec = sec
+		}
+	}
+	replaySec = clampSeconds(replaySec)
+
+	// Checkpoint at the journal head, exactly as the serving layer's
+	// auto-checkpoint would (this also retires the completed segments).
+	lg, _, err := wal.Open(dir, opt)
+	if err != nil {
+		return Row{}, err
+	}
+	ust, err := up.State(nil)
+	up.Release()
+	if err != nil {
+		lg.Close()
+		return Row{}, err
+	}
+	err = lg.WriteSnapshot(&wal.Snapshot{
+		LSN: lg.LSN(), Grid: ust.Grid, Live: ust.Live,
+		Residual: ust.Residual, Ops: ust.Ops,
+	})
+	if cerr := lg.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return Row{}, err
+	}
+	snapBytes, err := recoverDirBytes(wal.ListSnapshots(dir))
+	if err != nil {
+		return Row{}, err
+	}
+
+	// Warm recovery: snapshot load + empty tail, best of Repeats.
+	var snapSec float64
+	for r := 0; r < h.cfg.Repeats; r++ {
+		t0 := time.Now()
+		lg, rec, err := wal.Open(dir, opt)
+		if err != nil {
+			return Row{}, err
+		}
+		u, err := recoverReplay(rec)
+		if err != nil {
+			lg.Close()
+			return Row{}, err
+		}
+		sec := time.Since(t0).Seconds()
+		u.Release()
+		if err := lg.Close(); err != nil {
+			return Row{}, err
+		}
+		if r == 0 || sec < snapSec {
+			snapSec = sec
+		}
+	}
+	snapSec = clampSeconds(snapSec)
+
+	row := Row{Instance: name, Algo: "recover", Threads: 1, Seconds: replaySec}
+	row.Extra = map[string]float64{
+		"n":                     float64(len(pts)),
+		"records":               float64(records),
+		"journal_bytes":         float64(journalBytes),
+		"replay_s":              replaySec,
+		"replay_events_per_sec": float64(len(pts)) / replaySec,
+		"snapshot_load_s":       snapSec,
+		"snapshot_bytes":        float64(snapBytes),
+	}
+	row.Speedup = replaySec / snapSec
+	return row, nil
+}
+
+// recoverReplay rebuilds a live window from what wal.Open recovered —
+// the same restore-then-replay sequence the serving layer runs at boot,
+// minus its registry bookkeeping.
+func recoverReplay(rec wal.Recovered) (*core.Updater, error) {
+	var up *core.Updater
+	cfg := core.UpdaterConfig{}
+	if sn := rec.Snapshot; sn != nil {
+		u, err := core.RestoreUpdater(core.UpdaterState{
+			Grid: sn.Grid, Live: sn.Live, Residual: sn.Residual, Ops: sn.Ops,
+		}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		up = u
+	}
+	for _, r := range rec.Tail {
+		switch r.Kind {
+		case wal.KindCreate:
+			u, err := core.NewUpdater(r.Spec, cfg)
+			if err != nil {
+				return nil, err
+			}
+			up = u
+		case wal.KindIngest:
+			if up == nil {
+				return nil, fmt.Errorf("bench: recover: ingest before create at LSN %d", r.LSN)
+			}
+			up.Add(r.Points...)
+		case wal.KindAdvance:
+			if up == nil {
+				return nil, fmt.Errorf("bench: recover: advance before create at LSN %d", r.LSN)
+			}
+			up.AdvanceTo(r.T)
+		}
+	}
+	if up == nil {
+		return nil, fmt.Errorf("bench: recover: journal holds no window")
+	}
+	return up, nil
+}
+
+// recoverDirBytes sums the sizes of the listed journal files.
+func recoverDirBytes(paths []string, err error) (int64, error) {
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}
+
+// clampSeconds keeps a coarse-clock zero from producing infinite rates.
+func clampSeconds(s float64) float64 {
+	if s <= 0 {
+		return 1e-9
+	}
+	return s
+}

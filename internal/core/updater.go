@@ -115,6 +115,70 @@ func NewUpdater(spec grid.Spec, cfg UpdaterConfig) (*Updater, error) {
 	return u, nil
 }
 
+// UpdaterState is the serializable state of an Updater: everything the
+// durability subsystem persists so a restored updater continues the exact
+// float-operation sequence of the original — the raw window, the live
+// inventory, and the drift-control counters (persisted so the restored
+// updater compacts exactly when the uninterrupted run would have).
+type UpdaterState struct {
+	Grid     *grid.Grid   // raw unnormalized window, logical layer order; Spec.OT is the frame
+	Live     []grid.Point // live events, in application order
+	Residual float64      // running rounding bound, unnormalized
+	Ops      int64        // mutations since the last compaction
+}
+
+// State captures the updater's serializable state. The window copy is
+// charged to b (nil for an unaccounted transient copy, the checkpoint
+// path's choice).
+func (u *Updater) State(b *grid.Budget) (UpdaterState, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	g, err := u.ring.Snapshot(b)
+	if err != nil {
+		return UpdaterState{}, err
+	}
+	return UpdaterState{
+		Grid:     g,
+		Live:     append([]grid.Point(nil), u.live...),
+		Residual: u.residual,
+		Ops:      u.ops,
+	}, nil
+}
+
+// RestoreUpdater rebuilds a streaming estimator from a captured State. The
+// ring adopts the state's grid (which must not be used afterwards) and the
+// live set and drift counters resume as captured, so applying the same
+// mutations to the restored updater and the original produces bitwise
+// identical windows. Work stats (Stats) restart from zero.
+func RestoreUpdater(st UpdaterState, cfg UpdaterConfig) (*Updater, error) {
+	if cfg.Options.AdaptiveBandwidth != nil {
+		return nil, fmt.Errorf("core: updater does not support adaptive bandwidths")
+	}
+	if math.IsNaN(st.Residual) || st.Residual < 0 || st.Ops < 0 {
+		return nil, fmt.Errorf("core: restore updater: drift state out of range")
+	}
+	opt := cfg.Options.withDefaults()
+	if cfg.ResidualLimit <= 0 {
+		cfg.ResidualLimit = 1e-10
+	}
+	ring, err := grid.RestoreRing(st.Grid, opt.Budget)
+	if err != nil {
+		return nil, err
+	}
+	spec := ring.Spec()
+	u := &Updater{ring: ring, cfg: cfg, budget: opt.Budget}
+	u.pos = newCtx(nil, spec, opt)
+	u.pos.norm = 1 / (spec.HS * spec.HS * spec.HT)
+	u.pos.n = 1
+	u.neg = u.pos.withWeight(-1)
+	u.sc = newScratch(&u.pos)
+	u.contribMax = math.Abs(u.pos.norm * opt.Spatial.Eval(0, 0) * opt.Temporal.Eval(0))
+	u.live = append([]grid.Point(nil), st.Live...)
+	u.residual = st.Residual
+	u.ops = st.Ops
+	return u, nil
+}
+
 // segView wraps one physically contiguous run of the ring as a writable
 // engine view: logical layer seg.T0 lands on physical layer seg.Phys, so
 // ordinary stride arithmetic stays in bounds for the whole run.

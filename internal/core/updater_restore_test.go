@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// mutateStream applies n deterministic Add/AdvanceTo mutations, returning
+// the advanced frontier. Driving two updaters with the same rng state
+// applies bitwise identical mutation sequences.
+func mutateStream(u *Updater, rng *lcg, frontier float64, n int) float64 {
+	spec := u.Spec()
+	for i := 0; i < n; i++ {
+		switch rng.next() % 4 {
+		case 0:
+			frontier += 0.5 + 2*rng.float()
+			u.AdvanceTo(frontier)
+		default:
+			batch := make([]grid.Point, 1+rng.next()%3)
+			for j := range batch {
+				batch[j] = streamEvent(rng, spec.Domain, frontier)
+			}
+			u.Add(batch...)
+		}
+	}
+	return frontier
+}
+
+// expectBitwise asserts two updaters hold bitwise identical windows.
+func expectBitwise(t *testing.T, tag string, a, b *Updater) {
+	t.Helper()
+	if a.Spec() != b.Spec() {
+		t.Fatalf("%s: specs differ: %+v vs %+v", tag, a.Spec(), b.Spec())
+	}
+	if a.N() != b.N() {
+		t.Fatalf("%s: live counts differ: %d vs %d", tag, a.N(), b.N())
+	}
+	ga, err := a.Ring().Snapshot(nil)
+	if err != nil {
+		t.Fatalf("%s: snapshot a: %v", tag, err)
+	}
+	gb, err := b.Ring().Snapshot(nil)
+	if err != nil {
+		t.Fatalf("%s: snapshot b: %v", tag, err)
+	}
+	for i := range ga.Data {
+		if ga.Data[i] != gb.Data[i] {
+			t.Fatalf("%s: voxel %d differs bitwise: %x vs %x", tag, i, ga.Data[i], gb.Data[i])
+		}
+	}
+}
+
+// TestUpdaterStateRestoreBitwise is the durability contract: capturing
+// State and restoring it yields an updater that continues the exact float
+// operation sequence of the original — including compaction points, which
+// the persisted drift counters align — so every later window is bitwise
+// equal, and recovery-by-replay cannot drift from an uninterrupted run.
+func TestUpdaterStateRestoreBitwise(t *testing.T) {
+	spec := updaterSpec(t)
+	// CompactEvery exercises compaction parity on both sides of the capture.
+	cfg := UpdaterConfig{CompactEvery: 13}
+	u, err := NewUpdater(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := lcg(7)
+	frontier := mutateStream(u, &rng, spec.Domain.T0+8.0, 48)
+
+	st, err := u.State(nil)
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+	r, err := RestoreUpdater(st, cfg)
+	if err != nil {
+		t.Fatalf("RestoreUpdater: %v", err)
+	}
+	expectBitwise(t, "immediately after restore", u, r)
+
+	// Continue the identical mutation stream on both.
+	rngU, rngR := rng, rng
+	fu := mutateStream(u, &rngU, frontier, 48)
+	fr := mutateStream(r, &rngR, frontier, 48)
+	if fu != fr {
+		t.Fatalf("mutation streams diverged: frontier %g vs %g", fu, fr)
+	}
+	expectBitwise(t, "after continued mutations", u, r)
+
+	// The restored updater still honors the batch-equivalence contract.
+	checkUpdater(t, "restored", r, r.Live())
+}
+
+func TestRestoreUpdaterValidation(t *testing.T) {
+	spec := updaterSpec(t)
+	u, err := NewUpdater(spec, UpdaterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Add(grid.Point{X: 3, Y: 3, T: 2})
+	st, err := u.State(nil)
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+
+	bad := st
+	bad.Residual = -1
+	if _, err := RestoreUpdater(bad, UpdaterConfig{}); err == nil {
+		t.Fatalf("negative residual accepted")
+	}
+	bad = st
+	bad.Grid = nil
+	if _, err := RestoreUpdater(bad, UpdaterConfig{}); err == nil {
+		t.Fatalf("missing grid accepted")
+	}
+	short, err := grid.NewGrid(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short.Data = short.Data[:len(short.Data)-1]
+	bad = st
+	bad.Grid = short
+	if _, err := RestoreUpdater(bad, UpdaterConfig{}); err == nil {
+		t.Fatalf("mis-sized grid accepted")
+	}
+
+	// Budget accounting: the restored ring is charged, and released back.
+	b := grid.NewBudget(spec.Bytes())
+	r, err := RestoreUpdater(st, UpdaterConfig{Options: Options{Budget: b}})
+	if err != nil {
+		t.Fatalf("restore within budget: %v", err)
+	}
+	if b.Used() != spec.Bytes() {
+		t.Fatalf("restored ring charged %d bytes, want %d", b.Used(), spec.Bytes())
+	}
+	r.Release()
+	if b.Used() != 0 {
+		t.Fatalf("release returned %d bytes short", spec.Bytes()-b.Used())
+	}
+}

@@ -42,6 +42,23 @@ func NewRing(s Spec, b *Budget) (*Ring, error) {
 	return &Ring{spec: s, Data: data, budget: b}, nil
 }
 
+// RestoreRing rebuilds a ring from a materialized window snapshot: the
+// grid must hold the window in logical layer order (what Snapshot
+// produces), its spec — including the OT frame offset — becomes the ring's
+// spec with base 0, and its data array is adopted as the ring's backing
+// store, so the grid must not be used afterwards. The ring is charged to
+// b; pass the grid unaccounted (NewGrid with a nil budget, or a gio read)
+// or the bytes would be charged twice.
+func RestoreRing(g *Grid, b *Budget) (*Ring, error) {
+	if g == nil || g.Data == nil || len(g.Data) != g.Spec.Voxels() {
+		return nil, fmt.Errorf("grid: restore ring: snapshot grid missing or mis-sized")
+	}
+	if err := b.Alloc(g.Spec.Bytes()); err != nil {
+		return nil, err
+	}
+	return &Ring{spec: g.Spec, Data: g.Data, budget: b}, nil
+}
+
 // Spec returns the current window sub-spec. Its OT grows with every
 // Advance, so CenterT(T) always reports root-frame voxel centers.
 func (r *Ring) Spec() Spec { return r.spec }

@@ -38,6 +38,12 @@ type metrics struct {
 	sketchHits     expvar.Int // region/hotspot/job answers served from a sketch
 	sketchRebuilds expvar.Int // pyramid builds + stream sketch blocks rebuilt
 
+	walAppends         expvar.Int // stream mutations journaled
+	walCheckpoints     expvar.Int // stream snapshots written
+	walCheckpointFails expvar.Int // automatic checkpoints that failed
+	walRecovered       expvar.Int // streams rebuilt by Recover
+	walReplayed        expvar.Int // journal records replayed by Recover
+
 	shardGathers expvar.Int   // cross-shard gathers (sketch merges + snapshots)
 	shardLatency *latencyHist // wall time of those gathers
 }
@@ -62,6 +68,11 @@ func newMetrics() *metrics {
 	met.m.Set("stream_invalidations", &met.invalidations)
 	met.m.Set("sketch_hits", &met.sketchHits)
 	met.m.Set("sketch_rebuilds", &met.sketchRebuilds)
+	met.m.Set("wal_appends", &met.walAppends)
+	met.m.Set("wal_checkpoints", &met.walCheckpoints)
+	met.m.Set("wal_checkpoint_failures", &met.walCheckpointFails)
+	met.m.Set("wal_recovered_streams", &met.walRecovered)
+	met.m.Set("wal_replayed_records", &met.walReplayed)
 	met.m.Set("latency_p50_ms", expvar.Func(func() any { return met.latency.quantile(0.50) * 1e3 }))
 	met.m.Set("latency_p99_ms", expvar.Func(func() any { return met.latency.quantile(0.99) * 1e3 }))
 	met.shardLatency = newLatencyHist(1024)

@@ -80,6 +80,12 @@ type Config struct {
 	// into pinned rings.
 	MaxStreams int
 
+	// WAL, when non-nil, makes local streams durable: every mutation is
+	// journaled under WAL.Dir before it is acknowledged, periodic
+	// checkpoints bound recovery, and Server.Recover rebuilds the streams
+	// after a crash. Sharded streams are not journaled here.
+	WAL *WALConfig
+
 	// Shard, when non-nil with peers, backs every live stream with the
 	// named rank cluster instead of a local window ring: ingest is carved
 	// across the ranks by temporal slab, and region/hotspot queries are
@@ -248,9 +254,10 @@ func (s *Server) shardCluster() (*dist.Cluster, error) {
 
 // Shutdown stops accepting new estimation jobs and waits for in-flight
 // jobs to complete (so their grids land in the cache) or for the context
-// to expire, then severs the shard cluster connections if any were made.
-// The HTTP listener itself is the caller's to drain (see
-// http.Server.Shutdown in cmd/stkded).
+// to expire, takes a final checkpoint of every journaled stream (so the
+// next boot replays nothing) and closes the journals, then severs the
+// shard cluster connections if any were made. The HTTP listener itself
+// is the caller's to drain (see http.Server.Shutdown in cmd/stkded).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
@@ -266,6 +273,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = fmt.Errorf("serve: shutdown deadline exceeded with estimations in flight")
 	}
+	s.closeJournals()
 	s.shardMu.Lock()
 	s.shardUp = true // no reconnects after shutdown
 	if s.shardCl != nil {

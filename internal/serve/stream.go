@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/wal"
 )
 
 // liveWindow is the sliding-window estimator behind a stream: either a
@@ -68,6 +69,11 @@ type stream struct {
 	ds      *dataset
 	base    grid.Spec // creation spec (OT == 0); requests resolve against it
 	sharded bool      // window lives on the rank cluster, not in this process
+
+	// jr is the stream's durability journal (nil without a WAL config, and
+	// for sharded streams, whose windows live in the rank processes).
+	// Immutable after registerStream.
+	jr *streamJournal
 
 	mu      sync.Mutex
 	up      liveWindow
@@ -299,7 +305,9 @@ func (s *Server) createStream(spec grid.Spec) (*stream, error) {
 		if err != nil {
 			return nil, err
 		}
-		return s.registerStream(sg, spec, true), nil
+		// Sharded windows live in the rank processes, so this server does
+		// not journal them: their durability is the ranks' concern.
+		return s.registerStream(s.streams.nextID(), sg, spec, true, nil), nil
 	}
 	// Stream rings are pinned for the server's lifetime, so cap their
 	// total share at half the cache budget: one oversized window must
@@ -337,14 +345,38 @@ func (s *Server) createStream(spec grid.Spec) (*stream, error) {
 			return nil, err
 		}
 	}
-	return s.registerStream(localWindow{up}, spec, false), nil
+	// Journal the creation before the stream becomes visible: the create
+	// record (always LSN 1) is what recovery cold-starts from when no
+	// snapshot has been written yet. A journal failure aborts the create —
+	// a stream that cannot be made durable must not accept events.
+	id := s.streams.nextID()
+	var jr *streamJournal
+	if s.cfg.WAL != nil {
+		var err error
+		jr, _, err = s.openJournal(id)
+		if err == nil {
+			if _, err = jr.log.Append(wal.Record{Kind: wal.KindCreate, Spec: spec}); err == nil {
+				err = jr.log.Commit()
+			}
+			if err != nil {
+				jr.log.Close()
+				wal.Remove(jr.log.Dir())
+			}
+		}
+		if err != nil {
+			up.Release()
+			return nil, fmt.Errorf("serve: stream journal: %w", err)
+		}
+		s.met.walAppends.Add(1)
+	}
+	return s.registerStream(id, localWindow{up}, spec, false, jr), nil
 }
 
-// registerStream binds a created window to a fresh stream id and registry
-// entry. Callers hold createMu.
-func (s *Server) registerStream(up liveWindow, spec grid.Spec, sharded bool) *stream {
-	id := s.streams.nextID()
-	st := &stream{id: id, ds: s.reg.addStream(id), base: spec, sharded: sharded, up: up}
+// registerStream binds a created window to the given stream id and a
+// fresh registry entry. Callers hold createMu (or are Recover, which runs
+// before any traffic).
+func (s *Server) registerStream(id string, up liveWindow, spec grid.Spec, sharded bool, jr *streamJournal) *stream {
+	st := &stream{id: id, ds: s.reg.addStream(id), base: spec, sharded: sharded, jr: jr, up: up}
 	s.streams.put(st)
 	s.met.streams.Add(1)
 	return st
@@ -355,10 +387,13 @@ func (s *Server) registerStream(up liveWindow, spec grid.Spec, sharded bool) *st
 // stay responsive. Each chunk leaves a consistent events-so-far estimate.
 const ingestChunk = 4096
 
-// streamIngest appends events to a live stream: the window grid is updated
-// in place through the signed-weight apply path, the registry snapshot
-// grows, and every derived cache for the dataset (grids, exact-query
-// indexes) is invalidated under the stream lock.
+// streamIngest appends events to a live stream: each chunk is journaled
+// and then applied under one st.mu hold (so the journal orders records
+// exactly like the window mutations), the window grid is updated in place
+// through the signed-weight apply path, the registry snapshot grows, and
+// every derived cache for the dataset (grids, exact-query indexes) is
+// invalidated under the stream lock. The commit barrier runs after the
+// last chunk, before the caller acks.
 func (s *Server) streamIngest(st *stream, pts []grid.Point) (total int, err error) {
 	for len(pts) > 0 {
 		n := len(pts)
@@ -372,6 +407,10 @@ func (s *Server) streamIngest(st *stream, pts []grid.Point) (total int, err erro
 			st.mu.Unlock()
 			return total, errStreamDeleted
 		}
+		if err := s.journalAppend(st, wal.Record{Kind: wal.KindIngest, Points: chunk}); err != nil {
+			st.mu.Unlock()
+			return total, err
+		}
 		if err := st.up.Add(chunk...); err != nil {
 			st.mu.Unlock()
 			return total, err
@@ -381,26 +420,40 @@ func (s *Server) streamIngest(st *stream, pts []grid.Point) (total int, err erro
 		s.met.streamEvents.Add(int64(n))
 		st.mu.Unlock()
 	}
+	if err := s.journalCommit(st); err != nil {
+		return total, err
+	}
 	return total, nil
 }
 
 // streamAdvance slides a stream's window forward to cover time t,
 // expiring events the window left behind. No-op (without invalidation)
-// when t is already covered.
+// when t is already covered; the advance is journaled either way —
+// replaying a covered-time advance is itself a no-op, and the uniform
+// record stream keeps the journal a faithful transcript of the calls.
 func (s *Server) streamAdvance(st *stream, t float64) (advanced, expired int, err error) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.deleted {
+		st.mu.Unlock()
 		return 0, 0, errStreamDeleted
+	}
+	if err := s.journalAppend(st, wal.Record{Kind: wal.KindAdvance, T: t}); err != nil {
+		st.mu.Unlock()
+		return 0, 0, err
 	}
 	advanced, expired, err = st.up.AdvanceTo(t)
 	if err != nil {
+		st.mu.Unlock()
 		return 0, 0, err
 	}
 	if advanced > 0 {
 		st.ds.replacePoints(st.up.Live())
 		s.invalidateStream(st)
 		s.met.streamAdvances.Add(1)
+	}
+	st.mu.Unlock()
+	if err := s.journalCommit(st); err != nil {
+		return 0, 0, err
 	}
 	return advanced, expired, nil
 }
@@ -414,13 +467,25 @@ var errStreamDeleted = fmt.Errorf("serve: stream has been deleted")
 // already hold the *stream pointer observe st.deleted under st.mu.
 func (s *Server) deleteStream(st *stream) {
 	st.mu.Lock()
+	jr := st.jr
 	if !st.deleted {
 		st.deleted = true
 		st.up.Release()
 		s.invalidateStream(st)
 		s.met.streams.Add(-1)
+	} else {
+		jr = nil // a racing delete already owns the journal teardown
 	}
 	st.mu.Unlock()
+	if jr != nil {
+		// snapMu waits out an in-flight checkpoint, so the close and
+		// remove never race a snapshot write; the tombstone rename makes
+		// the teardown crash-safe (recovery finishes it).
+		jr.snapMu.Lock()
+		jr.log.Close()
+		wal.Remove(jr.log.Dir())
+		jr.snapMu.Unlock()
+	}
 	s.streams.remove(st.id)
 	s.reg.remove(st.id)
 	// A racing fill may have published between the first invalidation and

@@ -1,0 +1,175 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// scan.go walks segment files record by record. One scanner serves both
+// recovery (which truncates a torn tail and fast-skips snapshot-covered
+// records) and the stkdewal inspection CLI (which decodes everything).
+
+// segScan is the outcome of scanning one segment file.
+type segScan struct {
+	first   uint64 // header's first LSN
+	last    uint64 // last intact record's LSN (first-1 when none)
+	records int    // intact records
+	valid   int64  // bytes forming the intact prefix (header + whole records)
+	size    int64  // file size
+	damage  error  // nil when the file ends exactly on a record boundary
+}
+
+// scanSegment CRC-verifies the segment's records in order, calling fn for
+// each intact one. Records with LSN <= minLSN (covered by a snapshot) are
+// verified and passed as a stub carrying only Kind and LSN — the body is
+// never decoded, which keeps recovery over a retired-but-present history
+// cheap. A malformed suffix stops the scan and is reported as damage, not
+// as an error: the caller decides whether a torn tail is recoverable. fn
+// errors abort the scan and are returned as-is.
+func scanSegment(path string, minLSN uint64, fn func(Record) error) (segScan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return segScan{}, err
+	}
+	nameFirst, err := parseSegName(filepath.Base(path))
+	if err != nil {
+		return segScan{}, err
+	}
+	sc := segScan{size: int64(len(b))}
+	if len(b) < segHeaderBytes || string(b[:len(segMagic)]) != segMagic {
+		sc.damage = fmt.Errorf("segment header torn")
+		return sc, nil
+	}
+	if first := le.Uint64(b[len(segMagic):]); first != nameFirst {
+		sc.damage = fmt.Errorf("segment header names first LSN %d but the file is %016x%s", first, nameFirst, segSuffix)
+		return sc, nil
+	}
+	sc.first = nameFirst
+	sc.last = nameFirst - 1
+	off := int64(segHeaderBytes)
+	sc.valid = off
+	for off < int64(len(b)) {
+		if off+frameHeaderBytes > int64(len(b)) {
+			sc.damage = fmt.Errorf("torn frame header at offset %d", off)
+			return sc, nil
+		}
+		plen := int64(le.Uint32(b[off:]))
+		crc := le.Uint32(b[off+4:])
+		if plen > maxRecordBytes {
+			sc.damage = fmt.Errorf("frame at offset %d claims %d bytes (bound %d)", off, plen, int64(maxRecordBytes))
+			return sc, nil
+		}
+		end := off + frameHeaderBytes + plen
+		if end > int64(len(b)) {
+			sc.damage = fmt.Errorf("torn record at offset %d", off)
+			return sc, nil
+		}
+		payload := b[off+frameHeaderBytes : end]
+		if crc32.Checksum(payload, crcTable) != crc {
+			sc.damage = fmt.Errorf("CRC mismatch at offset %d", off)
+			return sc, nil
+		}
+		kind, lsn, err := peekLSN(payload)
+		if err != nil {
+			sc.damage = fmt.Errorf("record at offset %d: %v", off, err)
+			return sc, nil
+		}
+		rec := Record{Kind: kind, LSN: lsn}
+		if lsn > minLSN {
+			if rec, err = DecodeRecord(payload); err != nil {
+				sc.damage = fmt.Errorf("record at offset %d: %v", off, err)
+				return sc, nil
+			}
+		}
+		if err := fn(rec); err != nil {
+			return sc, err
+		}
+		sc.records++
+		sc.last = lsn
+		sc.valid = end
+		off = end
+	}
+	return sc, nil
+}
+
+// SegmentInfo describes one on-disk segment, for the inspection CLI.
+type SegmentInfo struct {
+	Path       string
+	FirstLSN   uint64 // from the header
+	LastLSN    uint64 // last intact record (FirstLSN-1 when none)
+	Records    int    // intact records
+	Bytes      int64  // file size
+	ValidBytes int64  // intact prefix; < Bytes means a torn or corrupt tail
+	Damage     string // what stopped the scan ("" when clean)
+}
+
+// InspectSegment scans one segment, fully decoding every intact record
+// into fn (which may be nil). Unlike recovery it never mutates the file.
+func InspectSegment(path string, fn func(Record) error) (SegmentInfo, error) {
+	if fn == nil {
+		fn = func(Record) error { return nil }
+	}
+	sc, err := scanSegment(path, 0, fn)
+	if err != nil {
+		return SegmentInfo{}, err
+	}
+	info := SegmentInfo{
+		Path:       path,
+		FirstLSN:   sc.first,
+		LastLSN:    sc.last,
+		Records:    sc.records,
+		Bytes:      sc.size,
+		ValidBytes: sc.valid,
+	}
+	if sc.damage != nil {
+		info.Damage = sc.damage.Error()
+	}
+	return info, nil
+}
+
+// ListStreams returns the stream ids (journal subdirectory names) under a
+// WAL root, sorted; *.deleted tombstones are excluded, not removed.
+func ListStreams(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list streams: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && !strings.HasSuffix(e.Name(), DeletedSuffix) {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// ListSegments returns a journal's segment file paths in LSN order.
+func ListSegments(dir string) ([]string, error) {
+	return listSuffixed(dir, segSuffix, "")
+}
+
+// ListSnapshots returns a journal's snapshot file paths in LSN order.
+func ListSnapshots(dir string) ([]string, error) {
+	return listSuffixed(dir, snapSuffix, snapPrefix)
+}
+
+func listSuffixed(dir, suffix, prefix string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list journal: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, suffix) && (prefix == "" || strings.HasPrefix(name, prefix)) {
+			paths = append(paths, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(paths) // fixed-width hex names sort in LSN order
+	return paths, nil
+}

@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/gio"
+	"repro/internal/grid"
+)
+
+// snapshot.go serializes a stream's recovery point: the raw (unnormalized)
+// window ring in logical layer order, the live event set, and the
+// updater's drift-control state, all as of one journal LSN. The grid
+// itself rides on the existing gio snapshot codec; the envelope adds what
+// gio does not carry — the LSN, the window's OT frame offset (gio rebuilds
+// a spec with OT 0), the live events, and a whole-body CRC so a damaged
+// snapshot is skipped in favor of its predecessor instead of replayed.
+//
+// File layout:
+//
+//	"STKDEWS1" | body | u32 crc32c(body)
+//	body = u64 lsn | i64 ot | f64 residual | i64 ops |
+//	       u64 nlive | nlive × (x, y, t f64) | gio grid snapshot
+
+const snapMagic = "STKDEWS1"
+
+// Snapshot is a stream's recovery point as of LSN: restoring this state
+// and replaying the journal's records past LSN reproduces the stream's
+// window bitwise (the same float operation sequence an uninterrupted run
+// applied).
+type Snapshot struct {
+	LSN uint64
+
+	// Grid is the raw unnormalized window in logical layer order; its
+	// Spec.OT carries the window's frame offset.
+	Grid *grid.Grid
+
+	// Live is the window's live event set, in application order.
+	Live []grid.Point
+
+	// Residual and Ops are the updater's drift-control counters, persisted
+	// so a restored updater compacts exactly when the uninterrupted run
+	// would have.
+	Residual float64
+	Ops      int64
+}
+
+// writeSnapshotFile streams the snapshot to path and fsyncs it. The body
+// is CRC'd as it streams (no second in-memory copy of the grid).
+func writeSnapshotFile(path string, s *Snapshot) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	crc := crc32.New(crcTable)
+	body := io.MultiWriter(bw, crc)
+
+	fail := func(err error) error {
+		f.Close()
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		return fail(err)
+	}
+	w := newWriter(32 + len(s.Live)*pointBytes)
+	w.u64(s.LSN)
+	w.i64(int64(s.Grid.Spec.OT))
+	w.f64(s.Residual)
+	w.i64(s.Ops)
+	w.u64(uint64(len(s.Live)))
+	w.points(s.Live)
+	if _, err := body.Write(w.b); err != nil {
+		return fail(err)
+	}
+	if err := gio.WriteGrid(body, s.Grid); err != nil {
+		return fail(err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot reads and fully validates a snapshot file: magic, trailing
+// CRC over the whole body, strict field decoding, and an exact-length
+// check so trailing bytes are rejected. Recovery treats any error as "this
+// snapshot does not exist" and falls back to the previous one.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read snapshot: %w", err)
+	}
+	if len(b) < len(snapMagic)+4 || string(b[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("wal: snapshot %s: bad magic or truncated", path)
+	}
+	bodyEnd := len(b) - 4
+	body := b[len(snapMagic):bodyEnd]
+	if got, want := crc32.Checksum(body, crcTable), le.Uint32(b[bodyEnd:]); got != want {
+		return nil, fmt.Errorf("wal: snapshot %s: CRC mismatch", path)
+	}
+
+	r := &reader{b: body}
+	s := &Snapshot{LSN: r.u64()}
+	ot := r.i64()
+	s.Residual = r.f64()
+	s.Ops = r.i64()
+	nlive := r.u64()
+	if r.err == nil && (nlive > uint64(len(body))/pointBytes) {
+		r.err = fmt.Errorf("wal: snapshot claims %d live events in %d bytes", nlive, len(body))
+	}
+	s.Live = r.points(int(nlive))
+	gridBytes := r.rest()
+	if r.err != nil {
+		return nil, fmt.Errorf("wal: snapshot %s: %w", path, r.err)
+	}
+	if s.LSN == 0 || ot < 0 || ot > int64(math.MaxInt64)/2 ||
+		math.IsNaN(s.Residual) || s.Residual < 0 || s.Ops < 0 {
+		return nil, fmt.Errorf("wal: snapshot %s: header fields out of range", path)
+	}
+	g, err := gio.ReadGrid(bytes.NewReader(gridBytes))
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot %s: %w", path, err)
+	}
+	// gio's codec is self-describing but not self-terminating; require the
+	// embedded grid to account for every remaining byte.
+	if want := len("STKDEG1\n") + 10*8 + g.Spec.Voxels()*8; len(gridBytes) != want {
+		return nil, fmt.Errorf("wal: snapshot %s: %d trailing bytes after the grid", path, len(gridBytes)-want)
+	}
+	g.Spec.OT = int(ot) // gio rebuilds the spec with OT 0; restore the frame
+	s.Grid = g
+	return s, nil
+}

@@ -3,6 +3,7 @@ package stkde
 import (
 	"repro/internal/grid"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 // Density serving (the cmd/stkded daemon): a long-running HTTP subsystem
@@ -25,7 +26,21 @@ type (
 	// DensityServer is the serving subsystem; it implements http.Handler,
 	// so it mounts directly on an http.Server or test mux.
 	DensityServer = serve.Server
+	// WALServeConfig makes a DensityServer's live streams durable
+	// (ServeConfig.WAL): every mutation is journaled before it is
+	// acknowledged and DensityServer.Recover rebuilds the streams after a
+	// crash from snapshot plus bounded tail replay.
+	WALServeConfig = serve.WALConfig
+	// RecoverStats reports what DensityServer.Recover rebuilt.
+	RecoverStats = serve.RecoverStats
+	// WALSyncPolicy selects when journaled mutations are fsynced
+	// (WALServeConfig.Sync); parse flag spellings with ParseWALSyncPolicy.
+	WALSyncPolicy = wal.SyncPolicy
 )
+
+// ParseWALSyncPolicy maps the -wal-sync flag spellings ("always",
+// "interval", "none") to a WALSyncPolicy.
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return wal.ParseSyncPolicy(s) }
 
 // NewDensityServer creates a density-serving handler. Mount it with
 // http.Server{Handler: srv}; call srv.Shutdown on exit to drain in-flight
