@@ -19,10 +19,14 @@
 // static grids, and the O(G) snapshot path versus the incremental ring
 // sketch on live streams. The "recover" experiment measures the durability
 // subsystem's boot path: cold WAL replay (events/sec) versus snapshot
-// warm-restart recovery of a journaled stream. With -json they emit the
-// stkde-bench/v1 trajectories committed as BENCH_stream.json,
-// BENCH_analytics.json and BENCH_recover.json. (-experiment is an alias
-// for -exp.)
+// warm-restart recovery of a journaled stream. The "overload" experiment
+// drives a server with admission control at roughly 9x its measured
+// capacity (one flooding tenant plus three polite ones) and reports the
+// admitted p99 against the SLO, the shed counts by reason, Retry-After
+// coverage, and the polite tenants' admitted fraction. With -json they
+// emit the stkde-bench/v1 trajectories committed as BENCH_stream.json,
+// BENCH_analytics.json, BENCH_recover.json and BENCH_overload.json.
+// (-experiment is an alias for -exp.)
 package main
 
 import (

@@ -38,6 +38,20 @@
 //
 //	stkded -addr :8377 -wal-dir /var/lib/stkde/wal -wal-sync always
 //
+// Overload protection: every estimation, ingest and advance is priced at
+// the door with the paper's Section 6.5 cost model (calibrated by
+// micro-benchmark at startup when -slo-ms is set). -slo-ms names a
+// latency objective: requests whose predicted wait (queue ahead of them
+// plus their own cost) exceeds it are shed with 429 and a Retry-After
+// derived from the prediction, instead of timing out after consuming a
+// worker. -queue-depth bounds the admission queue (waiters beyond it are
+// shed; cancelled clients leave the queue without consuming a slot), and
+// -tenant-rate applies per-tenant sliding-window rate limits — clients
+// name themselves with an X-Tenant header, tenants are dequeued
+// weighted-fair, and one tenant's flood cannot starve another:
+//
+//	stkded -addr :8377 -slo-ms 2000 -queue-depth 256 -tenant-rate 50/s,600/m
+//
 // Endpoints (JSON unless noted):
 //
 //	POST /v1/datasets    ingest a CSV body (x,y,t); returns the dataset id
@@ -61,12 +75,15 @@
 //	                     "sketch", or "grid" for the exact fallback
 //	GET  /v1/hotspots    top-k densest voxels, pruned by block maxima on
 //	                     both static grids and live windows
-//	GET  /healthz        liveness, stream count and cache occupancy
+//	GET  /healthz        liveness, stream count, cache occupancy, and
+//	                     admission state (queue depth, shed counts, a
+//	                     degraded flag while actively shedding)
 //	GET  /debug/vars     expvar metrics (cache hits/misses, stream
 //	                     ingest/advance counters, sketch_hits /
-//	                     sketch_rebuilds, latency p50/p99; in shard mode
-//	                     also shard_comm per-rank bytes, shard_gathers and
-//	                     shard_gather p50/p99)
+//	                     sketch_rebuilds, latency p50/p99, admission_*
+//	                     admitted/shed/queue-depth/per-tenant counters;
+//	                     in shard mode also shard_comm per-rank bytes,
+//	                     shard_gathers and shard_gather p50/p99)
 //
 // SIGINT/SIGTERM drain the HTTP listener and in-flight estimations before
 // exiting.
@@ -121,6 +138,9 @@ func parseArgs(args []string) (options, error) {
 		walDir  = fs.String("wal-dir", "", "journal live streams under this directory (created if absent); streams survive a crash via warm restart")
 		walSync = fs.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
 		snapN   = fs.Int("snapshot-every", 0, "checkpoint a stream's window every N journal records (0 = default 4096, negative = only at shutdown)")
+		sloMS   = fs.Int("slo-ms", 0, "latency SLO in ms: shed requests whose model-predicted wait exceeds it with 429 + Retry-After (0 = no SLO shedding)")
+		queueN  = fs.Int("queue-depth", 0, "bound the admission queue at this many waiters (0 = default 1024)")
+		rates   = fs.String("tenant-rate", "", "per-tenant rate limits, comma-separated limit/interval terms (e.g. 50/s,600/m,10000/h); tenants are named by the X-Tenant header")
 	)
 	if err := fs.Parse(args); err != nil {
 		return options{}, err // includes flag.ErrHelp; run maps it to exit 0
@@ -139,6 +159,25 @@ func parseArgs(args []string) (options, error) {
 		},
 		drain:       *drain,
 		shardListen: *shardLn,
+	}
+	if *sloMS < 0 {
+		return options{}, fmt.Errorf("-slo-ms must be >= 0")
+	}
+	if *queueN < 0 {
+		return options{}, fmt.Errorf("-queue-depth must be >= 0")
+	}
+	if *sloMS > 0 || *queueN > 0 || *rates != "" {
+		windows, err := stkde.ParseTenantRates(*rates)
+		if err != nil {
+			return options{}, fmt.Errorf("-tenant-rate: %w", err)
+		}
+		// Machine is left nil: when an SLO is set the server calibrates
+		// the cost model by micro-benchmark at startup.
+		o.cfg.Admission = &stkde.AdmissionServeConfig{
+			SLO:         time.Duration(*sloMS) * time.Millisecond,
+			QueueDepth:  *queueN,
+			TenantRates: windows,
+		}
 	}
 	if *walDir != "" {
 		policy, err := stkde.ParseWALSyncPolicy(*walSync)

@@ -151,6 +151,46 @@ func TestParseArgsWAL(t *testing.T) {
 	}
 }
 
+func TestParseArgsAdmission(t *testing.T) {
+	o, err := parseArgs([]string{"-slo-ms", "2000", "-queue-depth", "256", "-tenant-rate", "50/s,600/m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm := o.cfg.Admission
+	if adm == nil {
+		t.Fatal("admission flags set but Admission config nil")
+	}
+	if adm.SLO != 2*time.Second || adm.QueueDepth != 256 {
+		t.Fatalf("admission = %+v", adm)
+	}
+	if len(adm.TenantRates) != 2 ||
+		adm.TenantRates[0] != (stkde.RateWindow{Limit: 50, Per: time.Second}) ||
+		adm.TenantRates[1] != (stkde.RateWindow{Limit: 600, Per: time.Minute}) {
+		t.Fatalf("tenant rates = %+v", adm.TenantRates)
+	}
+	if adm.Machine != nil {
+		t.Fatal("Machine must stay nil so the server calibrates at startup")
+	}
+	// Any single admission flag is enough to build the config.
+	if o, err := parseArgs([]string{"-tenant-rate", "5/s"}); err != nil || o.cfg.Admission == nil {
+		t.Fatalf("-tenant-rate alone: %+v (%v)", o.cfg.Admission, err)
+	}
+	// No admission flags leaves the config nil (serve defaults apply).
+	if o, err := parseArgs(nil); err != nil || o.cfg.Admission != nil {
+		t.Fatalf("Admission set without flags: %+v (%v)", o.cfg.Admission, err)
+	}
+	for _, bad := range [][]string{
+		{"-slo-ms", "-1"},
+		{"-queue-depth", "-5"},
+		{"-tenant-rate", "fifty/s"},
+		{"-tenant-rate", "0/s"},
+	} {
+		if _, err := parseArgs(bad); err == nil {
+			t.Errorf("parseArgs(%v) accepted", bad)
+		}
+	}
+}
+
 func TestEnsureWALDir(t *testing.T) {
 	dir := t.TempDir()
 	nested := filepath.Join(dir, "a", "b", "wal")

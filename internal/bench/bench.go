@@ -33,6 +33,11 @@
 //	recover warm-restart trajectory: cold WAL replay (events/sec) vs
 //	        snapshot-load recovery of a journaled stream (the committed
 //	        BENCH_recover.json record)
+//	overload admission control under 10x offered load: one hostile tenant
+//	        flooding past a measured-capacity SLO next to polite tenants,
+//	        recording the admitted p99 vs the SLO, the shed split
+//	        (rate/SLO/queue), Retry-After honesty and per-tenant
+//	        completion (the committed BENCH_overload.json record)
 //
 // Absolute times differ from the paper's 2x8-core Xeon; the harness aims to
 // reproduce the qualitative shape: which algorithm wins where, the rough
@@ -160,7 +165,7 @@ type Report struct {
 func Experiments() []string {
 	return []string{"table2", "table3", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "dist", "serve",
-		"kernels", "stream", "analytics", "shard", "recover"}
+		"kernels", "stream", "analytics", "shard", "recover", "overload"}
 }
 
 // Run executes the named experiment.
@@ -204,6 +209,8 @@ func Run(exp string, cfg Config) (*Report, error) {
 		return h.shardExp()
 	case "recover":
 		return h.recoverExp()
+	case "overload":
+		return h.overloadExp()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)",
 		exp, strings.Join(Experiments(), ", "))

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-bound assertions are skipped under its overhead.
+const raceEnabled = false

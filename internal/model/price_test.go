@@ -1,0 +1,61 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestEstimateSeconds: the O(1) admission price is positive, grows with
+// the event count, and survives unknown algorithm names via the PB-SYM
+// fallback (overpricing, never zero).
+func TestEstimateSeconds(t *testing.T) {
+	spec := testSpec(t, 64, 64, 48, 4, 3)
+	m := DefaultMachine(4, 0)
+	small := m.EstimateSeconds(spec, 1000, core.AlgPBSYM, 4)
+	big := m.EstimateSeconds(spec, 100000, core.AlgPBSYM, 4)
+	if small <= 0 {
+		t.Fatalf("EstimateSeconds(1000 events) = %v, want > 0", small)
+	}
+	if big <= small {
+		t.Fatalf("price does not grow with n: %v events -> %v s, 100x events -> %v s", 1000, small, big)
+	}
+	if got := m.EstimateSeconds(spec, 1000, "no-such-algorithm", 4); got <= 0 {
+		t.Fatalf("unknown algorithm priced at %v, want positive fallback", got)
+	}
+	// Zero threads is clamped, not a divide-by-zero.
+	if got := m.EstimateSeconds(spec, 1000, core.AlgPBSYM, 0); got <= 0 {
+		t.Fatalf("threads=0 priced at %v, want positive", got)
+	}
+}
+
+// TestIngestSeconds: streaming ingest is priced linearly in the batch
+// size, with no grid-init term (ingesting zero events is free).
+func TestIngestSeconds(t *testing.T) {
+	spec := testSpec(t, 64, 64, 48, 4, 3)
+	m := DefaultMachine(4, 0)
+	if got := m.IngestSeconds(spec, 0); got != 0 {
+		t.Fatalf("IngestSeconds(0) = %v, want 0", got)
+	}
+	one := m.IngestSeconds(spec, 1)
+	if one <= 0 {
+		t.Fatalf("IngestSeconds(1) = %v, want > 0", one)
+	}
+	if got, want := m.IngestSeconds(spec, 1000), 1000*one; got < 0.999*want || got > 1.001*want {
+		t.Fatalf("IngestSeconds not linear: 1000 events -> %v s, want ~%v s", got, want)
+	}
+}
+
+// TestAdvanceSeconds: a window advance is bounded by one pass over the
+// window grid, so it is positive and grows with the grid size.
+func TestAdvanceSeconds(t *testing.T) {
+	m := DefaultMachine(4, 0)
+	small := m.AdvanceSeconds(testSpec(t, 32, 32, 16, 4, 3))
+	big := m.AdvanceSeconds(testSpec(t, 128, 128, 64, 4, 3))
+	if small <= 0 {
+		t.Fatalf("AdvanceSeconds(small) = %v, want > 0", small)
+	}
+	if big <= small {
+		t.Fatalf("AdvanceSeconds does not grow with the grid: %v vs %v", small, big)
+	}
+}

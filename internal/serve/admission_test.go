@@ -1,0 +1,508 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/model"
+)
+
+// admKey builds a distinct estimate key per x0: same grid shape and cost,
+// different cache identity, so tests control coalescing exactly.
+func admKey(t *testing.T, id string, x0 float64) estimateKey {
+	t.Helper()
+	spec, err := grid.NewSpec(grid.Domain{X0: x0, GX: 100, GY: 80, GT: 30}, 2, 1, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return estimateKey{Dataset: id, Spec: spec, Algorithm: core.AlgPBSYM}
+}
+
+// regionURL is the GET /v1/region request matching admKey(x0).
+func regionURL(ts *httptest.Server, id string, x0 float64) string {
+	return fmt.Sprintf("%s/v1/region?dataset=%s&algorithm=pb-sym&sres=2&tres=1&hs=10&ht=3&x0=%g&y0=0&t0=0&gx=100&gy=80&gt=30",
+		ts.URL, id, x0)
+}
+
+// waitQueueDepth polls the admission queue until it holds want waiters.
+func waitQueueDepth(t *testing.T, s *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.adm.queueDepth() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue depth never reached %d (now %d)", want, s.adm.queueDepth())
+}
+
+// TestPoolWaiterCancellation is the context-plumbing fix: a queued waiter
+// whose request context is cancelled leaves the queue promptly and does
+// not burn the pool slot when it frees.
+func TestPoolWaiterCancellation(t *testing.T) {
+	s, _, id := testServer(t, Config{Workers: 1})
+	started := make(chan struct{})
+	hold := make(chan struct{})
+	var once sync.Once
+	s.testHookEstimate = func(estimateKey) {
+		once.Do(func() { close(started) })
+		<-hold
+	}
+
+	// k0 occupies the only slot, hung inside the estimation.
+	k0done := make(chan error, 1)
+	go func() {
+		_, _, err := s.ensureGrid(context.Background(), admKey(t, id, 0), defaultTenant, false)
+		k0done <- err
+	}()
+	<-started
+
+	// k1 queues behind it, then its client disconnects.
+	ctx, cancel := context.WithCancel(context.Background())
+	k1done := make(chan error, 1)
+	go func() {
+		_, _, err := s.ensureGrid(ctx, admKey(t, id, 1), defaultTenant, false)
+		k1done <- err
+	}()
+	waitQueueDepth(t, s, 1)
+	cancel()
+	select {
+	case err := <-k1done:
+		if err != context.Canceled {
+			t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return promptly")
+	}
+	waitQueueDepth(t, s, 0)
+	if got := s.met.admCanceled.Value(); got != 1 {
+		t.Fatalf("admission_canceled = %d, want 1", got)
+	}
+
+	// Release the hung estimation; the freed slot must be available (not
+	// granted to the dead waiter), so fresh work completes.
+	close(hold)
+	if err := <-k0done; err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ensureGrid(context.Background(), admKey(t, id, 2), defaultTenant, false); err != nil {
+		t.Fatal(err)
+	}
+	// k1 never estimated: exactly k0 and k2 ran.
+	if got := s.Estimations(); got != 2 {
+		t.Fatalf("estimations = %d, want 2 (cancelled waiter must not estimate)", got)
+	}
+}
+
+// TestAdmissionQueueShed: past the configured depth, synchronous work is
+// refused with 429 and a positive Retry-After instead of queueing without
+// bound.
+func TestAdmissionQueueShed(t *testing.T) {
+	mach := model.DefaultMachine(1, 0)
+	s, ts, id := testServer(t, Config{
+		Workers:   1,
+		Admission: &AdmissionConfig{QueueDepth: 1, Machine: &mach},
+	})
+	started := make(chan struct{})
+	hold := make(chan struct{})
+	var once sync.Once
+	s.testHookEstimate = func(estimateKey) {
+		once.Do(func() { close(started) })
+		<-hold
+	}
+	defer close(hold)
+
+	k0done := make(chan error, 1)
+	go func() {
+		_, _, err := s.ensureGrid(context.Background(), admKey(t, id, 0), defaultTenant, false)
+		k0done <- err
+	}()
+	<-started
+	go s.ensureGrid(context.Background(), admKey(t, id, 1), defaultTenant, false)
+	waitQueueDepth(t, s, 1)
+
+	resp, err := http.Get(regionURL(ts, id, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Reason     string `json:"reason"`
+		RetryAfter int    `json:"retry_after_s"`
+	}
+	retryHeader := resp.Header.Get("Retry-After")
+	decodeBody(t, resp, &body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if body.Reason != shedReasonQueue {
+		t.Fatalf("reason = %q, want %q", body.Reason, shedReasonQueue)
+	}
+	if sec, err := strconv.Atoi(retryHeader); err != nil || sec < 1 || sec != body.RetryAfter {
+		t.Fatalf("Retry-After = %q (body %d), want a positive integer matching the body", retryHeader, body.RetryAfter)
+	}
+	if got := s.met.admShedQueue.Value(); got != 1 {
+		t.Fatalf("admission_shed_queue = %d, want 1", got)
+	}
+}
+
+// TestAdmissionQueueEviction: longest-queue-drop — when the queue is
+// full, an arrival from a lightly-loaded tenant displaces the newest
+// waiter of the most-backlogged tenant instead of being refused itself.
+func TestAdmissionQueueEviction(t *testing.T) {
+	mach := model.DefaultMachine(1, 0)
+	s, _, id := testServer(t, Config{
+		Workers:   1,
+		Admission: &AdmissionConfig{QueueDepth: 2, Machine: &mach},
+	})
+	var mu sync.Mutex
+	var got []float64 // X0 of each estimation, in execution order
+	hold := make(chan struct{})
+	first := make(chan struct{})
+	var once sync.Once
+	s.testHookEstimate = func(k estimateKey) {
+		mu.Lock()
+		got = append(got, k.Spec.Domain.X0)
+		mu.Unlock()
+		once.Do(func() { close(first) })
+		<-hold
+	}
+
+	errs := map[float64]chan error{}
+	run := func(x0 float64, tenant string) {
+		ch := make(chan error, 1)
+		errs[x0] = ch
+		go func() {
+			_, _, err := s.ensureGrid(context.Background(), admKey(t, id, x0), tenant, false)
+			ch <- err
+		}()
+	}
+	run(100, "a") // occupies the slot
+	<-first
+	run(1, "a")
+	waitQueueDepth(t, s, 1)
+	run(2, "a") // the flooder's newest waiter: the eviction victim
+	waitQueueDepth(t, s, 2)
+	run(11, "b") // arrival into the full queue from a tenant with no backlog
+
+	// The victim is shed with the queue-full 429 shape...
+	select {
+	case err := <-errs[2]:
+		var shed *shedError
+		if !errors.As(err, &shed) || shed.reason != shedReasonQueue {
+			t.Fatalf("evicted waiter returned %v, want a queue shedError", err)
+		}
+		if shed.retrySeconds() < 1 {
+			t.Fatalf("evicted Retry-After = %d, want >= 1", shed.retrySeconds())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("eviction did not shed the flooder's newest waiter")
+	}
+	if got := s.met.admShedQueue.Value(); got != 1 {
+		t.Fatalf("admission_shed_queue = %d, want 1", got)
+	}
+	waitQueueDepth(t, s, 2) // b holds the vacated spot
+
+	// ... and the surviving work drains in fair order, b admitted.
+	close(hold)
+	for _, x0 := range []float64{100, 1, 11} {
+		if err := <-errs[x0]; err != nil {
+			t.Fatalf("ensureGrid(%g): %v", x0, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []float64{100, 1, 11}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAdmissionSLOShed: with a slot busy and an unreachable SLO, both the
+// synchronous path and the estimate-job door shed with priced 429s.
+func TestAdmissionSLOShed(t *testing.T) {
+	mach := model.DefaultMachine(1, 0)
+	s, ts, id := testServer(t, Config{
+		Workers:   1,
+		Admission: &AdmissionConfig{SLO: time.Nanosecond, Machine: &mach},
+	})
+	started := make(chan struct{})
+	hold := make(chan struct{})
+	var once sync.Once
+	s.testHookEstimate = func(estimateKey) {
+		once.Do(func() { close(started) })
+		<-hold
+	}
+	defer close(hold)
+
+	go s.ensureGrid(context.Background(), admKey(t, id, 0), defaultTenant, false)
+	<-started
+
+	// Synchronous region request: shed inside acquire.
+	resp, err := http.Get(regionURL(ts, id, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Reason string `json:"reason"`
+	}
+	retry := resp.Header.Get("Retry-After")
+	decodeBody(t, resp, &body)
+	if resp.StatusCode != http.StatusTooManyRequests || body.Reason != shedReasonSLO {
+		t.Fatalf("region status = %d reason %q, want 429 %q", resp.StatusCode, body.Reason, shedReasonSLO)
+	}
+	if sec, err := strconv.Atoi(retry); err != nil || sec < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", retry)
+	}
+
+	// Async estimate: shed at the door, before a job is parked.
+	est := fmt.Sprintf(`{"dataset":%q,"algorithm":"pb-sym","sres":2,"tres":1,"hs":10,"ht":3,
+		"domain":{"x0":5,"y0":0,"t0":0,"gx":100,"gy":80,"gt":30}}`, id)
+	resp, err = http.Post(ts.URL+"/v1/estimate", "application/json", strings.NewReader(est))
+	if err != nil {
+		t.Fatal(err)
+	}
+	retry = resp.Header.Get("Retry-After")
+	decodeBody(t, resp, &body)
+	if resp.StatusCode != http.StatusTooManyRequests || body.Reason != shedReasonSLO {
+		t.Fatalf("estimate status = %d reason %q, want 429 %q", resp.StatusCode, body.Reason, shedReasonSLO)
+	}
+	if sec, err := strconv.Atoi(retry); err != nil || sec < 1 {
+		t.Fatalf("estimate Retry-After = %q, want a positive integer", retry)
+	}
+	if got := s.met.admShedSLO.Value(); got != 2 {
+		t.Fatalf("admission_shed_slo = %d, want 2", got)
+	}
+}
+
+// TestAdmissionFairDequeue: with one tenant's burst queued, a second
+// tenant's single request is served on the next free slot instead of
+// waiting out the whole burst.
+func TestAdmissionFairDequeue(t *testing.T) {
+	s, _, id := testServer(t, Config{Workers: 1})
+	var mu sync.Mutex
+	var got []float64 // X0 of each estimation, in execution order
+	hold := make(chan struct{})
+	first := make(chan struct{})
+	var once sync.Once
+	s.testHookEstimate = func(k estimateKey) {
+		mu.Lock()
+		got = append(got, k.Spec.Domain.X0)
+		mu.Unlock()
+		once.Do(func() { close(first) })
+		<-hold
+	}
+
+	var wg sync.WaitGroup
+	run := func(x0 float64, tenant string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.ensureGrid(context.Background(), admKey(t, id, x0), tenant, false); err != nil {
+				t.Errorf("ensureGrid(%g): %v", x0, err)
+			}
+		}()
+	}
+	run(100, "a") // occupies the slot
+	<-first
+	for i, x0 := range []float64{1, 2, 3} { // tenant a's burst
+		run(x0, "a")
+		waitQueueDepth(t, s, i+1)
+	}
+	run(11, "b") // tenant b's single request, last to arrive
+	waitQueueDepth(t, s, 4)
+	close(hold)
+	wg.Wait()
+
+	want := []float64{100, 1, 11, 2, 3} // b overtakes a's backlog after one grant
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v (fair dequeue must interleave tenants)", got, want)
+		}
+	}
+}
+
+// TestTenantRateLimitHTTP: per-tenant sliding windows over HTTP — the
+// third request in an hour-wide 2-limit window is 429 with Retry-After,
+// other tenants (and the default tenant) are unaffected, and the shed is
+// attributed in /healthz, /debug/vars, and the per-tenant map.
+func TestTenantRateLimitHTTP(t *testing.T) {
+	mach := model.DefaultMachine(1, 0)
+	_, ts, id := testServer(t, Config{
+		Admission: &AdmissionConfig{TenantRates: []RateWindow{{Limit: 2, Per: time.Hour}}, Machine: &mach},
+	})
+	get := func(tenant string) *http.Response {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/query?"+specParams(id, "pb-sym")+"&x=50&y=40&t=15", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	for i := 0; i < 2; i++ {
+		if resp := get("alice"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("alice request %d: status %d", i, resp.StatusCode)
+		} else {
+			resp.Body.Close()
+		}
+	}
+	resp := get("alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice over limit: status %d, want 429", resp.StatusCode)
+	}
+	if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || sec < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	resp.Body.Close()
+	for _, other := range []string{"bob", ""} {
+		if resp := get(other); resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant %q blocked by alice's limit: status %d", other, resp.StatusCode)
+		} else {
+			resp.Body.Close()
+		}
+	}
+
+	// The shed shows up in /healthz as a degraded flag...
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status     string `json:"status"`
+		Degraded   bool   `json:"degraded"`
+		Shed       int64  `json:"shed"`
+		QueueDepth int    `json:"queue_depth"`
+	}
+	decodeBody(t, hresp, &health)
+	if !health.Degraded || health.Status != "degraded" || health.Shed != 1 {
+		t.Fatalf("healthz = %+v, want degraded with shed 1", health)
+	}
+
+	// ... and in the admission_* expvars, attributed to alice.
+	vresp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Admitted   int64            `json:"admission_admitted"`
+		Shed       int64            `json:"admission_shed"`
+		ShedRate   int64            `json:"admission_shed_rate"`
+		TenantShed map[string]int64 `json:"admission_tenant_shed"`
+		QueueDepth int              `json:"admission_queue_depth"`
+		WaitErrMS  float64          `json:"admission_wait_error_ms"`
+	}
+	decodeBody(t, vresp, &vars)
+	if vars.Shed != 1 || vars.ShedRate != 1 || vars.TenantShed["alice"] != 1 {
+		t.Fatalf("vars = %+v, want one rate shed attributed to alice", vars)
+	}
+	if vars.QueueDepth != 0 || vars.WaitErrMS < 0 {
+		t.Fatalf("vars = %+v, want empty queue and non-negative wait error", vars)
+	}
+}
+
+// TestHealthzNotDegradedByDefault: a server that never shed reports ok.
+func TestHealthzNotDegradedByDefault(t *testing.T) {
+	_, ts, id := testServer(t, Config{})
+	if resp, err := http.Get(regionURL(ts, id, 0)); err != nil {
+		t.Fatal(err)
+	} else if resp.StatusCode != http.StatusOK {
+		t.Fatalf("region status %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Degraded bool   `json:"degraded"`
+		Admitted int64  `json:"admitted"`
+	}
+	decodeBody(t, resp, &health)
+	if health.Degraded || health.Status != "ok" {
+		t.Fatalf("healthz = %+v, want ok", health)
+	}
+	if health.Admitted < 1 {
+		t.Fatalf("healthz admitted = %d, want >= 1 after a served estimation", health.Admitted)
+	}
+}
+
+// TestStreamIngestRateLimited: stream mutations are work-admitting and
+// pass through the same tenant limits.
+func TestStreamIngestRateLimited(t *testing.T) {
+	mach := model.DefaultMachine(1, 0)
+	s := New(Config{Admission: &AdmissionConfig{TenantRates: []RateWindow{{Limit: 1, Per: time.Hour}}, Machine: &mach}})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	body := `{"sres":2,"tres":1,"hs":6,"ht":3,"domain":{"x0":0,"y0":0,"t0":0,"gx":40,"gy":30,"gt":20}}`
+	resp, err := http.Post(ts.URL+"/v1/streams", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Dataset string `json:"dataset"`
+	}
+	decodeBody(t, resp, &st)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("stream create status %d", resp.StatusCode)
+	}
+	// The default tenant spent its 1/hour budget on the create; the
+	// ingest is the over-limit request.
+	iresp, err := http.Post(ts.URL+"/v1/datasets/"+st.Dataset+"/events", "text/csv", strings.NewReader("20,15,10\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer iresp.Body.Close()
+	if iresp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("ingest status %d, want 429", iresp.StatusCode)
+	}
+	if sec, err := strconv.Atoi(iresp.Header.Get("Retry-After")); err != nil || sec < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", iresp.Header.Get("Retry-After"))
+	}
+}
+
+// TestAdmissionVarsPublished: the admission_* expvars exist from boot.
+func TestAdmissionVarsPublished(t *testing.T) {
+	s := New(Config{})
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(s.met.m.String()), &vars); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"admission_admitted", "admission_shed", "admission_shed_slo",
+		"admission_shed_rate", "admission_shed_queue", "admission_canceled",
+		"admission_tenant_shed", "admission_queue_depth", "admission_wait_error_ms",
+	} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("expvar %q missing", key)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -27,15 +28,21 @@ func newFlightGroup() *flightGroup {
 
 // do runs fn for the key, unless a call for the same key is already in
 // flight, in which case it waits for that call and returns its result.
-// A panic in fn is converted into an error: the cleanup must run (and
-// done must close) regardless, or the key would wedge forever with every
-// follower blocked on it.
-func (f *flightGroup) do(k estimateKey, fn func() (*core.Result, error)) (res *core.Result, err error) {
+// A follower that stops waiting (ctx cancelled) detaches without
+// affecting the leader: the computation still completes and lands in the
+// cache for the next request. A panic in fn is converted into an error:
+// the cleanup must run (and done must close) regardless, or the key would
+// wedge forever with every follower blocked on it.
+func (f *flightGroup) do(ctx context.Context, k estimateKey, fn func() (*core.Result, error)) (res *core.Result, err error) {
 	f.mu.Lock()
 	if c, ok := f.calls[k]; ok {
 		f.mu.Unlock()
-		<-c.done
-		return c.res, c.err
+		select {
+		case <-c.done:
+			return c.res, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	f.calls[k] = c

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,6 +43,36 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeWorkErr writes a work-admission or estimation failure: shed
+// refusals become 429 Too Many Requests with a Retry-After header derived
+// from the prediction, everything else falls through to ensureStatus.
+func writeWorkErr(w http.ResponseWriter, err error) {
+	var shed *shedError
+	if errors.As(err, &shed) {
+		w.Header().Set("Retry-After", strconv.Itoa(shed.retrySeconds()))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":         shed.Error(),
+			"reason":        shed.reason,
+			"retry_after_s": shed.retrySeconds(),
+		})
+		return
+	}
+	writeErr(w, ensureStatus(err), "%v", err)
+}
+
+// admitTenant applies the per-tenant sliding-window rate limits to one
+// work-admitting request, writing the 429 itself on refusal. The tenant
+// (X-Tenant header, "default" otherwise) is returned for the deeper
+// admission layers.
+func (s *Server) admitTenant(w http.ResponseWriter, r *http.Request) (string, bool) {
+	tenant := tenantOf(r)
+	if err := s.adm.allowRate(tenant); err != nil {
+		writeWorkErr(w, err)
+		return tenant, false
+	}
+	return tenant, true
 }
 
 // domainJSON is the wire shape of a grid.Domain.
@@ -108,6 +139,9 @@ func validatePoints(pts []grid.Point) error {
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
+		if _, ok := s.admitTenant(w, r); !ok {
+			return
+		}
 		pts, err := gio.ReadPoints(r.Body)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "parse CSV body: %v", err)
@@ -219,6 +253,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
 		return
 	}
+	tenant, ok := s.admitTenant(w, r)
+	if !ok {
+		return
+	}
 	var req estimateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "parse JSON body: %v", err)
@@ -234,9 +272,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j, err := s.startJob(k)
+	j, err := s.startJob(k, tenant)
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		writeWorkErr(w, err)
 		return
 	}
 	snap := j.snapshot()
@@ -314,6 +352,9 @@ func (s *Server) queryParams(r *http.Request) (estimateKey, *dataset, error) {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if _, ok := s.admitTenant(w, r); !ok {
 		return
 	}
 	k, ds, err := s.queryParams(r)
@@ -405,6 +446,10 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	tenant, ok := s.admitTenant(w, r)
+	if !ok {
+		return
+	}
 	k, _, err := s.queryParams(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -439,9 +484,9 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, cached, err := s.ensureGrid(k, false)
+	res, cached, err := s.ensureGrid(r.Context(), k, tenant, false)
 	if err != nil {
-		writeErr(w, ensureStatus(err), "%v", err)
+		writeWorkErr(w, err)
 		return
 	}
 	var mass float64
@@ -493,6 +538,10 @@ func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	tenant, ok := s.admitTenant(w, r)
+	if !ok {
+		return
+	}
 	k, _, err := s.queryParams(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -517,9 +566,9 @@ func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, cached, err := s.ensureGrid(k, false)
+	res, cached, err := s.ensureGrid(r.Context(), k, tenant, false)
 	if err != nil {
-		writeErr(w, ensureStatus(err), "%v", err)
+		writeWorkErr(w, err)
 		return
 	}
 	var top []grid.VoxelDensity
@@ -583,6 +632,9 @@ type streamRequest struct {
 func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
+		if _, ok := s.admitTenant(w, r); !ok {
+			return
+		}
 		var req streamRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, "parse JSON body: %v", err)
@@ -655,6 +707,14 @@ func (s *Server) handleDatasetSub(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	// Stream mutations are work-admitting (they hold the window lock and
+	// apply kernel cylinders — on a sharded stream, the coordinator's
+	// carve-and-fan runs here too), so they pass through the same tenant
+	// rate limits and priced pool admission as estimations.
+	tenant, ok := s.admitTenant(w, r)
+	if !ok {
+		return
+	}
 	switch action {
 	case "events":
 		pts, err := gio.ReadPoints(r.Body)
@@ -670,7 +730,13 @@ func (s *Server) handleDatasetSub(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		release, err := s.adm.acquire(r.Context(), tenant, s.mach.IngestSeconds(st.base, len(pts)), true)
+		if err != nil {
+			writeWorkErr(w, err)
+			return
+		}
 		total, err := s.streamIngest(st, pts)
+		release()
 		if err != nil {
 			writeErr(w, http.StatusNotFound, "%v", err)
 			return
@@ -695,7 +761,13 @@ func (s *Server) handleDatasetSub(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "t must be a finite time, got %g", *req.T)
 			return
 		}
+		release, err := s.adm.acquire(r.Context(), tenant, s.mach.AdvanceSeconds(st.base), true)
+		if err != nil {
+			writeWorkErr(w, err)
+			return
+		}
 		advanced, expired, err := s.streamAdvance(st, *req.T)
+		release()
 		if err != nil {
 			writeErr(w, http.StatusNotFound, "%v", err)
 			return
@@ -709,25 +781,40 @@ func (s *Server) handleDatasetSub(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// ensureStatus maps an ensureGrid failure to its HTTP status.
+// ensureStatus maps an ensureGrid failure to its HTTP status. A context
+// cancellation means the client already left (it abandoned the admission
+// queue with its slot unclaimed), so the status is a formality.
 func ensureStatus(err error) int {
-	if errors.Is(err, errShuttingDown) {
+	if errors.Is(err, errShuttingDown) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }
 
-// handleHealth is the liveness endpoint.
+// handleHealth is the liveness endpoint. Beyond liveness it reports the
+// admission state — queue depth, shed counts, and a degraded flag while
+// the server is actively shedding — so an orchestrator can route traffic
+// around hot replicas before they start refusing it.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	entries, bytes, limit := s.cache.stats()
+	degraded := s.adm.degraded()
+	status := "ok"
+	if degraded {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":            "ok",
+		"status":            status,
+		"degraded":          degraded,
 		"uptime_s":          time.Since(s.start).Seconds(),
 		"datasets":          len(s.reg.list()),
 		"streams":           s.streams.count(),
 		"cache_entries":     entries,
 		"cache_bytes":       bytes,
 		"cache_limit_bytes": limit,
+		"queue_depth":       s.adm.queueDepth(),
+		"admitted":          s.met.admAdmitted.Value(),
+		"shed":              s.met.admShed.Value(),
 	})
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -16,8 +17,9 @@ const (
 
 // job tracks one asynchronous estimation.
 type job struct {
-	id  string
-	key estimateKey
+	id     string
+	key    estimateKey
+	tenant string // accounting tenant of the request that launched it
 
 	mu       sync.Mutex
 	state    string
@@ -84,7 +86,10 @@ func (t *jobTable) get(id string) (*job, bool) {
 // needed. A running job is always reused — that is the request-coalescing
 // guarantee at the job layer. A finished job is reused only while its grid
 // is still resident; once evicted, a new request relaunches the work.
-func (s *Server) startJob(k estimateKey) (*job, error) {
+// Fresh work is priced at the door first: a request whose predicted queue
+// wait exceeds the SLO is shed here with a Retry-After instead of parking
+// a doomed job in the table.
+func (s *Server) startJob(k estimateKey, tenant string) (*job, error) {
 	id := k.id()
 	s.jobs.mu.Lock()
 	defer s.jobs.mu.Unlock()
@@ -96,6 +101,13 @@ func (s *Server) startJob(k estimateKey) (*job, error) {
 			return j, nil
 		}
 	}
+	// The door check only applies to work that will actually estimate: a
+	// resident grid completes synchronously without touching the pool.
+	if !s.cache.contains(k) {
+		if err := s.adm.doorCheck(tenant, s.predictCost(k)); err != nil {
+			return nil, err
+		}
+	}
 	s.mu.Lock()
 	closed := s.closed
 	if !closed {
@@ -105,7 +117,7 @@ func (s *Server) startJob(k estimateKey) (*job, error) {
 	if closed {
 		return nil, errShuttingDown
 	}
-	j := &job{id: id, key: k, state: jobRunning, started: time.Now()}
+	j := &job{id: id, key: k, tenant: tenant, state: jobRunning, started: time.Now()}
 	s.jobs.insert(j)
 	go s.runJob(j)
 	return j, nil
@@ -113,10 +125,12 @@ func (s *Server) startJob(k estimateKey) (*job, error) {
 
 // runJob drives one estimation to completion and records its outcome. It
 // runs detached from any request context: a poller that disconnects does
-// not cancel the work, and Shutdown waits for it.
+// not cancel the work, and Shutdown waits for it. The pool acquire is
+// pre-admitted (door-checked by startJob), so it queues without being
+// re-priced — only the queue-depth backstop can still refuse it.
 func (s *Server) runJob(j *job) {
 	defer s.wg.Done()
-	res, cached, err := s.ensureGrid(j.key, true)
+	res, cached, err := s.ensureGrid(context.Background(), j.key, j.tenant, true)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = time.Now()

@@ -46,6 +46,14 @@ type metrics struct {
 
 	shardGathers expvar.Int   // cross-shard gathers (sketch merges + snapshots)
 	shardLatency *latencyHist // wall time of those gathers
+
+	admAdmitted   expvar.Int  // work requests granted a pool slot
+	admShed       expvar.Int  // work requests shed (all reasons)
+	admShedSLO    expvar.Int  // ... predicted wait over the latency SLO
+	admShedRate   expvar.Int  // ... tenant over a sliding-window rate limit
+	admShedQueue  expvar.Int  // ... admission queue at its depth bound
+	admCanceled   expvar.Int  // waiters that left the queue on ctx cancel
+	admTenantShed *expvar.Map // sheds by tenant
 }
 
 func newMetrics() *metrics {
@@ -79,7 +87,23 @@ func newMetrics() *metrics {
 	met.m.Set("shard_gathers", &met.shardGathers)
 	met.m.Set("shard_gather_p50_ms", expvar.Func(func() any { return met.shardLatency.quantile(0.50) * 1e3 }))
 	met.m.Set("shard_gather_p99_ms", expvar.Func(func() any { return met.shardLatency.quantile(0.99) * 1e3 }))
+	met.admTenantShed = new(expvar.Map).Init()
+	met.m.Set("admission_admitted", &met.admAdmitted)
+	met.m.Set("admission_shed", &met.admShed)
+	met.m.Set("admission_shed_slo", &met.admShedSLO)
+	met.m.Set("admission_shed_rate", &met.admShedRate)
+	met.m.Set("admission_shed_queue", &met.admShedQueue)
+	met.m.Set("admission_canceled", &met.admCanceled)
+	met.m.Set("admission_tenant_shed", met.admTenantShed)
 	return met
+}
+
+// publishAdmission exposes the admission queue's live state: current
+// depth and the mean |predicted - actual| wait error of the pricing
+// model. Called once, when the server wires its admission controller.
+func (m *metrics) publishAdmission(a *admission) {
+	m.m.Set("admission_queue_depth", expvar.Func(func() any { return a.queueDepth() }))
+	m.m.Set("admission_wait_error_ms", expvar.Func(func() any { return a.waitErrorMS() }))
 }
 
 // publishShard exposes the connected cluster's rank count and cumulative

@@ -16,9 +16,14 @@
 //   - a grid cache keyed by (dataset, Spec, algorithm) with LRU eviction
 //     accounted against a grid.Budget, so repeated requests for the same
 //     density cube are O(1) lookups instead of re-estimations;
-//   - request coalescing (singleflight) plus a bounded estimation pool, so a
-//     thundering herd of identical requests computes exactly once while
-//     distinct requests saturate the cores;
+//   - request coalescing (singleflight) plus a bounded estimation pool
+//     behind a multi-tenant admission controller, so a thundering herd of
+//     identical requests computes exactly once while distinct requests
+//     saturate the cores — and overload is priced at the door with the
+//     paper's Section 6.5 model: requests whose predicted wait exceeds the
+//     latency SLO are shed with 429 + Retry-After, per-tenant sliding-window
+//     rate limits cap abusive clients, and a weighted-fair queue keeps one
+//     tenant's burst from starving the rest;
 //   - JSON HTTP endpoints for ingestion, asynchronous estimation with job
 //     polling, voxel queries (cached-grid lookup with an exact
 //     core.Query.At fallback), box aggregates, and top-k hotspots, plus
@@ -42,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/grid"
+	"repro/internal/model"
 )
 
 // Config configures a Server. The zero value is valid: 256 MiB of grid
@@ -92,6 +98,40 @@ type Config struct {
 	// answered by merging the ranks' incremental sketches — O(1) partial
 	// sums and O(k) candidate lists on the wire instead of O(G) grids.
 	Shard *ShardConfig
+
+	// Admission configures the multi-tenant admission-control layer in
+	// front of the estimation pool. Nil keeps the defaults: a bounded
+	// context-aware queue (depth 1024), no latency SLO, no rate limits.
+	Admission *AdmissionConfig
+}
+
+// AdmissionConfig prices and bounds work admission. Every work-admitting
+// path — estimate jobs, sync region/hotspot estimations, stream
+// ingest/advance, and the shard coordinator's stream mutations — goes
+// through it.
+type AdmissionConfig struct {
+	// SLO, when positive, sheds requests whose model-predicted queue wait
+	// exceeds it with 429 + a Retry-After derived from the prediction.
+	SLO time.Duration
+
+	// QueueDepth bounds the queued (admitted-but-waiting) requests across
+	// all tenants (default 1024). Past it, requests are shed with 429.
+	QueueDepth int
+
+	// TenantRates are multi-interval sliding-window rate limits applied
+	// per tenant (keyed by the X-Tenant header, "default" otherwise),
+	// e.g. {100, time.Second} + {2000, time.Minute} evaluated together.
+	// Nil disables rate limiting.
+	TenantRates []RateWindow
+
+	// TenantWeights optionally biases the fair dequeue: a tenant with
+	// weight w receives w grants per round-robin cycle (default 1).
+	TenantWeights map[string]int
+
+	// Machine supplies the pricing rates. Nil runs model.Calibrate at
+	// server start when SLO is set (tens of milliseconds of
+	// micro-benchmarks), and uses model.DefaultMachine otherwise.
+	Machine *model.Machine
 }
 
 // ShardConfig names the rank cluster a Server shards live streams across.
@@ -127,6 +167,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxStreams <= 0 {
 		c.MaxStreams = 16
 	}
+	if c.Admission == nil {
+		c.Admission = &AdmissionConfig{}
+	}
+	if c.Admission.QueueDepth <= 0 {
+		ac := *c.Admission
+		ac.QueueDepth = 1024
+		c.Admission = &ac
+	}
 	return c
 }
 
@@ -153,7 +201,8 @@ type Server struct {
 	cache   *gridCache
 	streams *streamTable
 	flight  *flightGroup
-	sem     chan struct{} // estimation pool: one token per concurrent estimate
+	adm     *admission    // estimation pool front door: bounded fair queue + shedding
+	mach    model.Machine // calibrated rates pricing every admission
 	jobs    *jobTable
 	met     *metrics
 	mux     *http.ServeMux
@@ -176,7 +225,10 @@ type Server struct {
 	testHookEstimate func(k estimateKey)
 }
 
-// New creates a Server with the given configuration.
+// New creates a Server with the given configuration. When an admission
+// SLO is set without explicit machine rates, the pricing model is
+// calibrated here (model.Calibrate, tens of milliseconds) so every
+// prediction reflects the hardware actually serving.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -185,13 +237,34 @@ func New(cfg Config) *Server {
 		cache:   newGridCache(cfg.CacheBytes),
 		streams: newStreamTable(),
 		flight:  newFlightGroup(),
-		sem:     make(chan struct{}, cfg.Workers),
 		jobs:    newJobTable(),
 		met:     newMetrics(),
 		start:   time.Now(),
 	}
+	switch {
+	case cfg.Admission.Machine != nil:
+		s.mach = *cfg.Admission.Machine
+	case cfg.Admission.SLO > 0:
+		s.mach = model.Calibrate(cfg.Threads, 0)
+	default:
+		s.mach = model.DefaultMachine(cfg.Threads, 0)
+	}
+	s.adm = newAdmission(*cfg.Admission, cfg.Workers, s.met)
+	s.met.publishAdmission(s.adm)
 	s.mux = s.routes()
 	return s
+}
+
+// predictCost prices one estimation request in predicted wall seconds
+// using the calibrated machine model — the O(1) Section 6.5 prediction
+// (no per-cell loads), so it is cheap enough to run at the door of every
+// request.
+func (s *Server) predictCost(k estimateKey) float64 {
+	n := 0
+	if ds, ok := s.reg.get(k.Dataset); ok {
+		n = ds.size()
+	}
+	return s.mach.EstimateSeconds(k.Spec, n, k.Algorithm, s.cfg.Threads)
 }
 
 // ServeHTTP dispatches to the subsystem's endpoints, tracking in-flight
@@ -300,11 +373,14 @@ var errShuttingDown = fmt.Errorf("serve: shutting down, not accepting new estima
 // ensureGrid returns the cached density grid for the key, computing (and
 // caching) it if absent. Concurrent calls for the same key coalesce into a
 // single estimation; distinct keys run concurrently, bounded by the
-// estimation pool. Callers not already admitted to the drain group by
-// startJob (the synchronous region/hotspot paths) pass preAdmitted=false:
-// they are refused once Shutdown has begun and are waited for by it
-// otherwise.
-func (s *Server) ensureGrid(k estimateKey, preAdmitted bool) (*core.Result, bool, error) {
+// estimation pool behind the admission queue: the caller waits fairly
+// with its tenant's peers, leaves the queue the moment ctx is cancelled,
+// and (on the synchronous paths) is shed with a priced Retry-After when
+// the predicted wait exceeds the SLO. Callers not already admitted to the
+// drain group by startJob (the synchronous region/hotspot paths) pass
+// preAdmitted=false: they are refused once Shutdown has begun, waited for
+// by it otherwise, and subject to door shedding.
+func (s *Server) ensureGrid(ctx context.Context, k estimateKey, tenant string, preAdmitted bool) (*core.Result, bool, error) {
 	if g, ok := s.cache.get(k); ok {
 		s.met.cacheHits.Add(1)
 		return resultFromGrid(k, g), true, nil
@@ -320,14 +396,17 @@ func (s *Server) ensureGrid(k estimateKey, preAdmitted bool) (*core.Result, bool
 		s.mu.Unlock()
 		defer s.wg.Done()
 	}
-	res, err := s.flight.do(k, func() (*core.Result, error) {
+	res, err := s.flight.do(ctx, k, func() (*core.Result, error) {
 		// A concurrent caller may have populated the cache between our
 		// miss and the flight admission.
 		if g, ok := s.cache.get(k); ok {
 			return resultFromGrid(k, g), nil
 		}
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
+		release, err := s.adm.acquire(ctx, tenant, s.predictCost(k), !preAdmitted)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		if s.testHookEstimate != nil {
 			s.testHookEstimate(k)
 		}

@@ -923,11 +923,11 @@ func TestGridSizeLimitOverflow(t *testing.T) {
 func TestFlightPanicSafe(t *testing.T) {
 	f := newFlightGroup()
 	k := estimateKey{Dataset: "d", Algorithm: "pb-sym"}
-	if _, err := f.do(k, func() (*core.Result, error) { panic("boom") }); err == nil ||
+	if _, err := f.do(context.Background(), k, func() (*core.Result, error) { panic("boom") }); err == nil ||
 		!strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("panicking fn returned err = %v, want panic error", err)
 	}
-	res, err := f.do(k, func() (*core.Result, error) { return &core.Result{Algorithm: "ok"}, nil })
+	res, err := f.do(context.Background(), k, func() (*core.Result, error) { return &core.Result{Algorithm: "ok"}, nil })
 	if err != nil || res.Algorithm != "ok" {
 		t.Fatalf("key wedged after panic: res=%v err=%v", res, err)
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"net/http"
@@ -637,13 +638,13 @@ func TestStreamStaleSnapshotNotCached(t *testing.T) {
 		defer close(done)
 		postEvents(t, ts, id, streamEvents(10, 11, 9))
 	}()
-	if _, _, err := s.ensureGrid(k, false); err != nil {
+	if _, _, err := s.ensureGrid(context.Background(), k, defaultTenant, false); err != nil {
 		t.Fatal(err)
 	}
 	<-done
 	// Whatever the interleaving, a resident grid now must reflect the
 	// current version: re-request and compare against a fresh batch.
-	res, _, err := s.ensureGrid(k, false)
+	res, _, err := s.ensureGrid(context.Background(), k, defaultTenant, false)
 	if err != nil {
 		t.Fatal(err)
 	}

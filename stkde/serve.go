@@ -36,7 +36,24 @@ type (
 	// WALSyncPolicy selects when journaled mutations are fsynced
 	// (WALServeConfig.Sync); parse flag spellings with ParseWALSyncPolicy.
 	WALSyncPolicy = wal.SyncPolicy
+	// AdmissionServeConfig configures the DensityServer's admission
+	// control (ServeConfig.Admission): a latency SLO that sheds work the
+	// §6.5 cost model predicts cannot finish in time, a bounded admission
+	// queue that cancelled clients leave, and per-tenant sliding-window
+	// rate limits with weighted-fair dequeue. Shed requests get 429 plus
+	// an honest Retry-After derived from the prediction.
+	AdmissionServeConfig = serve.AdmissionConfig
+	// RateWindow is one per-tenant rate-limit interval (Limit requests
+	// per Per); several evaluated together form a multi-interval limit.
+	// Parse flag spellings like "50/s,600/m" with ParseTenantRates.
+	RateWindow = serve.RateWindow
 )
+
+// ParseTenantRates parses a -tenant-rate flag spelling — comma-separated
+// "limit/interval" terms such as "50/s,600/m,10000/h" (s/m/h or any Go
+// duration) — into the RateWindow slice AdmissionServeConfig.TenantRates
+// wants. An empty string means no rate limits.
+func ParseTenantRates(s string) ([]RateWindow, error) { return serve.ParseRateWindows(s) }
 
 // ParseWALSyncPolicy maps the -wal-sync flag spellings ("always",
 // "interval", "none") to a WALSyncPolicy.
