@@ -181,6 +181,7 @@ func printProblem(spec stkde.Spec, n int) {
 	fmt.Printf("grid        %dx%dx%d voxels (%.1f MB)\n",
 		spec.Gx, spec.Gy, spec.Gt, float64(spec.Bytes())/1e6)
 	fmt.Printf("bandwidth   Hs=%d Ht=%d voxels\n", spec.Hs, spec.Ht)
+	fmt.Printf("engine      %s fill kernels\n", stkde.EngineISA())
 }
 
 // printSharedMemory reports a shared-memory run: algorithm, problem shape

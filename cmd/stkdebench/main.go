@@ -10,7 +10,13 @@
 //	stkdebench -exp kernels -scale 0.1 -repeats 3 -json BENCH
 //	stkdebench -experiment stream -scale 0.1 -repeats 3 -json BENCH
 //
-// The "stream" experiment measures the streaming update path: the
+// The "kernels" experiment A/Bs the compute-engine tiers on sequential
+// PB-SYM — the dense pre-rewrite scan, generic interface dispatch, the
+// devirtualized scalar span engine (fast-*), and the AVX2 vector kernels
+// of repro/internal/simd (vector-*, the default engine) — with and
+// without the Morton locality sort; every emitted row carries an "isa"
+// field recording whether internal/simd dispatched to "avx2" or "scalar"
+// on the measuring host. The "stream" experiment measures the streaming update path: the
 // per-event cost and sustained events/sec of folding single events into a
 // live core.Updater window, the cost of a one-layer window advance, and
 // the speedup over the full batch recompute each ingest replaces. The

@@ -319,6 +319,7 @@ func run(args []string) error {
 		}
 		errc <- nil
 	}()
+	fmt.Printf("engine      %s fill kernels\n", stkde.EngineISA())
 	fmt.Printf("listening   %s (cache %d MB, %s default)\n",
 		o.addr, o.cfg.CacheBytes>>20, o.cfg.DefaultAlgorithm)
 

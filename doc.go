@@ -29,9 +29,15 @@
 // specialization hook (the default Epanechnikov, plus quartic, triweight
 // and uniform) compile to monomorphic fill loops with no interface
 // dispatch — user-supplied kernels transparently use the generic path.
-// All engine configurations produce bitwise-identical volumes; the
-// "kernels" experiment of cmd/stkdebench records the speedup trajectory in
-// BENCH_*.json files.
+// On amd64 the span primitives are further vectorized: repro/internal/simd
+// provides hand-written AVX2 assembly (no FMA, so lane rounding matches
+// the scalar loops bitwise) for the multiply-add row update and the packed
+// disk/bar polynomial fills, selected once at startup by CPUID probing
+// (stkde.EngineISA reports the choice; build with -tags purego to force
+// the pure-Go fallbacks). All engine configurations produce
+// bitwise-identical volumes; the "kernels" experiment of cmd/stkdebench
+// records the speedup trajectory in BENCH_*.json files, each row tagged
+// with the ISA that produced it.
 //
 // repro/internal/serve turns the library into a long-running service: a
 // dataset registry with content-addressed ingestion, an LRU grid cache

@@ -147,6 +147,12 @@ type Row struct {
 	Seconds  float64 `json:"seconds"`
 	Speedup  float64 `json:"speedup,omitempty"`
 	OOM      bool    `json:"oom,omitempty"`
+	// ISA records the instruction set the compute engine dispatched to for
+	// rows where it matters (the "kernels" experiment's engine sweep):
+	// "avx2" when the vector kernels ran, "scalar" otherwise. Committed
+	// trajectories keep it so speedups are attributable to the hardware
+	// they were measured on.
+	ISA string `json:"isa,omitempty"`
 	// Extra carries per-experiment values (e.g. "init_frac", "cp_rel").
 	Extra map[string]float64 `json:"extra,omitempty"`
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/simd"
 )
 
 // table2 prints the instance catalog at both full (paper) and scaled size.
@@ -393,7 +394,10 @@ func speedupCell(r Row) string {
 
 // kernelConfigs are the compute-engine configurations the "kernels"
 // experiment sweeps; dense-unsorted is the pre-optimization hot path and
-// the speedup denominator.
+// the speedup denominator. fast-* is the devirtualized span engine with
+// vector kernels pinned off (EngineScalar); vector-* lets EngineAuto
+// dispatch to internal/simd, so the fast-to-vector delta isolates the
+// vectorization gain on the measuring host.
 var kernelConfigs = []struct {
 	Name   string
 	Engine core.EngineMode
@@ -402,8 +406,19 @@ var kernelConfigs = []struct {
 	{"dense-unsorted", core.EngineDense, true}, // pre-PR baseline
 	{"dense-sorted", core.EngineDense, false},
 	{"generic-sorted", core.EngineGeneric, false},
-	{"fast-unsorted", core.EngineAuto, true},
-	{"fast-sorted", core.EngineAuto, false}, // the default engine
+	{"fast-unsorted", core.EngineScalar, true},
+	{"fast-sorted", core.EngineScalar, false},
+	{"vector-unsorted", core.EngineAuto, true},
+	{"vector-sorted", core.EngineAuto, false}, // the default engine
+}
+
+// configISA reports the instruction set a kernel config's engine dispatches
+// to: only EngineAuto may reach the vector kernels.
+func configISA(engine core.EngineMode) string {
+	if engine == core.EngineAuto {
+		return simd.Active()
+	}
+	return "scalar"
 }
 
 // kernelsExp measures the hot-path compute engine: sequential PB-SYM with
@@ -453,6 +468,7 @@ func (h *harness) kernelsExp() (*Report, error) {
 				Algo:     core.AlgPBSYM + "[" + cfg.Name + "]",
 				Threads:  1,
 				Seconds:  compute,
+				ISA:      configISA(cfg.Engine),
 				Extra:    map[string]float64{"bin": bin, "total": total},
 			}
 			if cfg.Name == kernelConfigs[0].Name {

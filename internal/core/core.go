@@ -111,10 +111,13 @@ func ParallelAlgorithms() []string {
 type EngineMode int
 
 const (
-	// EngineAuto (the default) iterates packed disk spans and
-	// devirtualizes kernels that implement the kernel.PolySpatial /
-	// kernel.PolyTemporal specialization hook; other kernels fall back to
-	// interface dispatch over the same spans.
+	// EngineAuto (the default) iterates packed disk spans, devirtualizes
+	// kernels that implement the kernel.PolySpatial / kernel.PolyTemporal
+	// specialization hook, and — when internal/simd reports vector kernels
+	// available (AVX2 on amd64) — routes the devirtualized fills and the
+	// PB-SYM multiply-add through them for spans past the measured
+	// cutoffs. Other kernels fall back to interface dispatch over the
+	// same spans.
 	EngineAuto EngineMode = iota
 	// EngineGeneric forces interface dispatch in the fill loops while
 	// keeping span iteration (isolates the devirtualization gain).
@@ -123,6 +126,12 @@ const (
 	// per-voxel interface dispatch — the pre-optimization hot path, kept
 	// as the committed baseline of the "kernels" bench experiment.
 	EngineDense
+	// EngineScalar is EngineAuto with the vector kernels disabled: packed
+	// spans and devirtualized fills, but every loop scalar. It is the
+	// A/B baseline that isolates the vectorization gain (the bench
+	// experiment's fast-* rows) and is what EngineAuto degrades to on
+	// hosts without AVX2.
+	EngineScalar
 )
 
 // Options configures an estimation run. The zero value is valid: it uses

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/kernel"
+	"repro/internal/simd"
 )
 
 // This file is the PB-family compute engine. Three implementations share
@@ -60,8 +61,13 @@ type ctx struct {
 
 	// Engine selection (see Options.Engine). dense forces the legacy box
 	// scan; skFast/tkFast devirtualize the fill loops for polynomial
-	// kernels c*(1-x)^deg.
+	// kernels c*(1-x)^deg; vector routes the devirtualized fills and the
+	// PB-SYM multiply-add through internal/simd when spans are long
+	// enough to amortize the call (EngineAuto on a host with vector
+	// kernels). The vector kernels are bitwise identical to the scalar
+	// loops, so vector is a pure speed knob.
 	dense  bool
+	vector bool
 	skFast bool
 	tkFast bool
 	skC    float64
@@ -109,13 +115,14 @@ func newCtx(pts []grid.Point, spec grid.Spec, opt Options) ctx {
 		c.dense = true
 	case EngineGeneric:
 		// Span iteration with interface dispatch.
-	default: // EngineAuto
+	default: // EngineAuto and EngineScalar: devirtualized fills.
 		if kc, deg, ok := kernel.SpecializeSpatial(opt.Spatial); ok {
 			c.skFast, c.skC, c.skDeg = true, kc, deg
 		}
 		if tc, deg, ok := kernel.SpecializeTemporal(opt.Temporal); ok {
 			c.tkFast, c.tkC, c.tkDeg = true, tc, deg
 		}
+		c.vector = opt.Engine != EngineScalar && simd.Enabled()
 	}
 	if c.adaptive != nil {
 		c.adaptiveOn = true
@@ -243,6 +250,7 @@ func (v view) base(X, Y, T int) int {
 type scratch struct {
 	disk []float64 // spatial invariant; packed by spans (span engine) or dense
 	bar  []float64 // temporal invariant; packed from barLo (span engine) or dense
+	tw   []float64 // normalized temporal offsets feeding the vector bar fill
 
 	spanLo []int32 // per X column: first in-disk Y, relative to box.Y0
 	spanN  []int32 // per X column: in-disk Y count
@@ -262,40 +270,50 @@ type scratch struct {
 	tkEvals int64
 }
 
+// roundUp8 rounds n up to the next multiple of 8, the float64 count of a
+// 64-byte cache line (and two 4-wide vector registers). Scratch rows are
+// allocated at rounded capacity so adaptive-bandwidth runs, whose per-point
+// box sizes wobble by a voxel or two, reuse one allocation across points
+// instead of reallocating on every size change.
+func roundUp8(n int) int { return (n + 7) &^ 7 }
+
 func newScratch(c *ctx) *scratch {
 	dxy := 2*c.maxHsVoxels() + 1
 	dt := 2*c.maxHtVoxels() + 1
 	return &scratch{
-		disk:   make([]float64, dxy*dxy),
-		bar:    make([]float64, dt),
-		spanLo: make([]int32, dxy),
-		spanN:  make([]int32, dxy),
-		dy2:    make([]float64, dxy),
-		nv:     make([]float64, dxy),
-		nv2:    make([]float64, dxy),
+		disk:   make([]float64, roundUp8(dxy*dxy))[:dxy*dxy],
+		bar:    make([]float64, roundUp8(dt))[:dt],
+		tw:     make([]float64, roundUp8(dt))[:dt],
+		spanLo: make([]int32, roundUp8(dxy))[:dxy],
+		spanN:  make([]int32, roundUp8(dxy))[:dxy],
+		dy2:    make([]float64, roundUp8(dxy))[:dxy],
+		nv:     make([]float64, roundUp8(dxy))[:dxy],
+		nv2:    make([]float64, roundUp8(dxy))[:dxy],
 	}
 }
 
 func (sc *scratch) ensure(nx, ny, nt int) {
 	nxy := nx * ny
 	if cap(sc.disk) < nxy {
-		sc.disk = make([]float64, nxy)
+		sc.disk = make([]float64, roundUp8(nxy))
 	}
 	sc.disk = sc.disk[:nxy]
 	if cap(sc.bar) < nt {
-		sc.bar = make([]float64, nt)
+		sc.bar = make([]float64, roundUp8(nt))
+		sc.tw = make([]float64, roundUp8(nt))
 	}
 	sc.bar = sc.bar[:nt]
+	sc.tw = sc.tw[:nt]
 	if cap(sc.spanLo) < nx {
-		sc.spanLo = make([]int32, nx)
-		sc.spanN = make([]int32, nx)
+		sc.spanLo = make([]int32, roundUp8(nx))
+		sc.spanN = make([]int32, roundUp8(nx))
 	}
 	sc.spanLo = sc.spanLo[:nx]
 	sc.spanN = sc.spanN[:nx]
 	if cap(sc.dy2) < ny {
-		sc.dy2 = make([]float64, ny)
-		sc.nv = make([]float64, ny)
-		sc.nv2 = make([]float64, ny)
+		sc.dy2 = make([]float64, roundUp8(ny))
+		sc.nv = make([]float64, roundUp8(ny))
+		sc.nv2 = make([]float64, roundUp8(ny))
 	}
 	sc.dy2 = sc.dy2[:ny]
 	sc.nv = sc.nv[:ny]
@@ -496,25 +514,33 @@ func applySym(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
 		if n > 0 {
 			rb := base + int(sc.spanLo[ix])*v.strideY
 			ks := sc.disk[off : off+n]
-			for iy := 0; iy < n; iy++ {
-				// 4-way unrolled multiply-add; the row reslice pins
-				// len(row) == len(bar) so bounds checks vanish. The
-				// per-element operation (one multiply, one add, in index
-				// order) is exactly the dense engine's, so results are
-				// bitwise identical.
-				k := ks[iy]
-				row := data[rb : rb+bn]
-				j := 0
-				for ; j+4 <= bn; j += 4 {
-					row[j] += k * bar[j]
-					row[j+1] += k * bar[j+1]
-					row[j+2] += k * bar[j+2]
-					row[j+3] += k * bar[j+3]
+			if c.vector && n*bn >= vectorBlockCutoff {
+				// One kernel call walks the whole span: the bar is held
+				// in a register across rows and each row is a masked
+				// multiply-add — per-lane the same multiply and add as
+				// the scalar loop below, so bitwise identical.
+				simd.MulAddRows(data[rb:], v.strideY, ks, bar)
+			} else {
+				for iy := 0; iy < n; iy++ {
+					// 4-way unrolled multiply-add; the row reslice pins
+					// len(row) == len(bar) so bounds checks vanish. The
+					// per-element operation (one multiply, one add, in index
+					// order) is exactly the dense engine's, so results are
+					// bitwise identical.
+					k := ks[iy]
+					row := data[rb : rb+bn]
+					j := 0
+					for ; j+4 <= bn; j += 4 {
+						row[j] += k * bar[j]
+						row[j+1] += k * bar[j+1]
+						row[j+2] += k * bar[j+2]
+						row[j+3] += k * bar[j+3]
+					}
+					for ; j < bn; j++ {
+						row[j] += k * bar[j]
+					}
+					rb += v.strideY
 				}
-				for ; j < bn; j++ {
-					row[j] += k * bar[j]
-				}
-				rb += v.strideY
 			}
 			off += n
 			sc.updates += int64(n * bn)
@@ -527,6 +553,22 @@ func applySym(v view, c *ctx, p grid.Point, clip grid.Box, sc *scratch) {
 // directly from the box edges: for tiny boxes the sqrt and float-to-int
 // guesses cost more than the handful of exact predicate tests they save.
 const smallSpanCutoff = 12
+
+// vectorSpanCutoff is the packed-span length from which the vector fill
+// kernels take over from the scalar fill loops. Below one 4-wide vector
+// the kernel reduces to a single masked tail operation, which measured no
+// better than the scalar loop; from one vector up it wins. Measured with
+// BenchmarkFillDisk and the kernels bench experiment across the committed
+// instances (bandwidths 1..13 voxels) on an AVX2 host.
+const vectorSpanCutoff = 4
+
+// vectorBlockCutoff is the rows*barLen element count from which routing a
+// PB-SYM span block through simd.MulAddRows beats the unrolled scalar row
+// walk. The vector kernel keeps bars of at most 4 elements resident in a
+// register across rows, so its crossover is lower than per-row
+// vectorization would allow. Measured with BenchmarkApplySym and the
+// kernels bench experiment (same sweep as vectorSpanCutoff).
+const vectorBlockCutoff = 8
 
 // diskSpans computes, for every X column of box, the contiguous range of Y
 // rows whose voxel centers lie strictly inside the spatial bandwidth circle
@@ -666,6 +708,11 @@ func fillDiskPoly(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) {
 		uu := u * u
 		w2 := nv2[sc.spanLo[ix]:][:n]
 		dst := sc.disk[off : off+n]
+		if c.vector && n >= vectorSpanCutoff {
+			simd.FillDiskPoly(dst, w2, uu, kc, norm, c.skDeg)
+			off += n
+			continue
+		}
 		switch c.skDeg {
 		case 0:
 			kn := kc * norm
@@ -728,6 +775,18 @@ func fillBar(c *ctx, p grid.Point, g geom, box grid.Box, sc *scratch) {
 		return
 	}
 	kc, invHT := c.tkC, g.invHT
+	if c.vector && sc.barN >= vectorSpanCutoff {
+		// Pack the normalized offsets (the w of the scalar loops below),
+		// then evaluate the polynomial 4 lanes at a time. For the finite w
+		// the engine produces, the kernel's w*w >= 1 support predicate
+		// selects exactly the scalar branch's w <= -1 || w >= 1 elements.
+		tw := sc.tw[:sc.barN]
+		for j := range tw {
+			tw[j] = (c.spec.CenterT(lo+j) - p.T) * invHT
+		}
+		simd.FillBarPoly(bar, tw, kc, c.tkDeg)
+		return
+	}
 	switch c.tkDeg {
 	case 0:
 		for j := range bar {

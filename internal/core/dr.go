@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/par"
+	"repro/internal/simd"
 )
 
 // runDR is PB-SYM-DR (Algorithm 4), domain replication: every worker
@@ -69,10 +70,7 @@ func runDR(pts []grid.Point, spec grid.Spec, opt Options) (*Result, error) {
 		par.Blocks(p, len(out.Data), func(_, lo, hi int) {
 			dst := out.Data[lo:hi]
 			for w := 1; w < p; w++ {
-				src := replicas[w].Data[lo:hi]
-				for i := range dst {
-					dst[i] += src[i]
-				}
+				simd.Add(dst, replicas[w].Data[lo:hi])
 			}
 		})
 	}

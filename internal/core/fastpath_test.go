@@ -17,6 +17,7 @@ var engineModes = []struct {
 	{"auto", EngineAuto},
 	{"generic", EngineGeneric},
 	{"dense", EngineDense},
+	{"scalar", EngineScalar},
 }
 
 // polyKernelPairs are the kernel families covered by the specialization

@@ -6,6 +6,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/par"
 	"repro/internal/sched"
+	"repro/internal/simd"
 	"repro/internal/stencil"
 )
 
@@ -366,11 +367,7 @@ func reduceBuffers(gv view, bufs [][]float64, box grid.Box) int64 {
 		bv := boxView(bufs[r], box)
 		for X := box.X0; X <= box.X1; X++ {
 			for Y := box.Y0; Y <= box.Y1; Y++ {
-				dst := gv.row(X, Y, box.T0, nt)
-				src := bv.row(X, Y, box.T0, nt)
-				for j := range dst {
-					dst[j] += src[j]
-				}
+				simd.Add(gv.row(X, Y, box.T0, nt), bv.row(X, Y, box.T0, nt))
 			}
 		}
 		updates += int64(box.Count())

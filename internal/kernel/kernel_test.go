@@ -250,3 +250,100 @@ func TestByNameRoundTrip(t *testing.T) {
 		t.Error("empty name should return the default temporal kernel")
 	}
 }
+
+// polyUser2D is a user-supplied spatial kernel that opts into the PolySpatial
+// hook with an arbitrary (possibly unsupported) degree, standing in for
+// third-party kernels outside this package.
+type polyUser2D struct {
+	c   float64
+	deg int
+}
+
+func (k polyUser2D) Eval(u, v float64) float64 {
+	r2 := u*u + v*v
+	if r2 >= 1 {
+		return 0
+	}
+	d, acc := 1-r2, k.c
+	for i := 0; i < k.deg; i++ {
+		acc *= d
+	}
+	return acc
+}
+func (k polyUser2D) Name() string                { return "polyuser2d" }
+func (k polyUser2D) SpatialPoly() (float64, int) { return k.c, k.deg }
+
+// polyUser1D is the temporal analogue of polyUser2D.
+type polyUser1D struct {
+	c   float64
+	deg int
+}
+
+func (k polyUser1D) Eval(w float64) float64 {
+	if w <= -1 || w >= 1 {
+		return 0
+	}
+	d, acc := 1-w*w, k.c
+	for i := 0; i < k.deg; i++ {
+		acc *= d
+	}
+	return acc
+}
+func (k polyUser1D) Name() string                 { return "polyuser1d" }
+func (k polyUser1D) TemporalPoly() (float64, int) { return k.c, k.deg }
+
+// TestSpecializeUserKernels: user-defined kernels that implement the Poly
+// hooks specialize exactly when their degree is one the fill engines (scalar
+// and vector alike) actually compile; out-of-range degrees must fall back to
+// interface dispatch rather than silently computing the wrong polynomial.
+func TestSpecializeUserKernels(t *testing.T) {
+	for _, deg := range []int{0, 1, 2, 3} {
+		c, d, ok := SpecializeSpatial(polyUser2D{c: 1.25, deg: deg})
+		if !ok || c != 1.25 || d != deg {
+			t.Errorf("SpecializeSpatial(user deg %d) = (%g, %d, %t), want (1.25, %d, true)",
+				deg, c, d, ok, deg)
+		}
+		c, d, ok = SpecializeTemporal(polyUser1D{c: 0.625, deg: deg})
+		if !ok || c != 0.625 || d != deg {
+			t.Errorf("SpecializeTemporal(user deg %d) = (%g, %d, %t), want (0.625, %d, true)",
+				deg, c, d, ok, deg)
+		}
+	}
+	for _, deg := range []int{-1, 4, 7, 100} {
+		if c, d, ok := SpecializeSpatial(polyUser2D{c: 2, deg: deg}); ok || c != 0 || d != 0 {
+			t.Errorf("SpecializeSpatial(user deg %d) = (%g, %d, %t), want (0, 0, false)",
+				deg, c, d, ok)
+		}
+		if c, d, ok := SpecializeTemporal(polyUser1D{c: 2, deg: deg}); ok || c != 0 || d != 0 {
+			t.Errorf("SpecializeTemporal(user deg %d) = (%g, %d, %t), want (0, 0, false)",
+				deg, c, d, ok)
+		}
+	}
+	// Kernels without the hook never specialize, whatever their shape.
+	if _, _, ok := SpecializeSpatial(Cone2D{}); ok {
+		t.Error("SpecializeSpatial(Cone2D) specialized without a hook")
+	}
+	if _, _, ok := SpecializeTemporal(Triangle1D{}); ok {
+		t.Error("SpecializeTemporal(Triangle1D) specialized without a hook")
+	}
+}
+
+// TestUnsupportedDegreeEndToEnd: an unsupported-degree user kernel is still
+// usable — Eval is consulted through the interface and produces a sane
+// density shape (this is the fallback the estimators take when ok=false).
+func TestUnsupportedDegreeEndToEnd(t *testing.T) {
+	ks := polyUser2D{c: 5 / math.Pi, deg: 4}
+	if v := ks.Eval(0, 0); v != 5/math.Pi {
+		t.Errorf("deg-4 user kernel Eval(0,0) = %g, want %g", v, 5/math.Pi)
+	}
+	if v := ks.Eval(1, 0); v != 0 {
+		t.Errorf("deg-4 user kernel Eval(1,0) = %g, want 0", v)
+	}
+	kt := polyUser1D{c: 315.0 / 256, deg: 4}
+	if v := kt.Eval(0); v != 315.0/256 {
+		t.Errorf("deg-4 user kernel Eval(0) = %g, want %g", v, 315.0/256)
+	}
+	if v := kt.Eval(-1); v != 0 {
+		t.Errorf("deg-4 user kernel Eval(-1) = %g, want 0", v)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/simd"
 )
 
 // metrics aggregates the server's operational counters into a private
@@ -58,6 +59,13 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	met := &metrics{m: new(expvar.Map).Init(), latency: newLatencyHist(1024)}
+	// The instruction set the compute engine dispatches to ("avx2" or
+	// "scalar") — static per process, but exported so an operator reading
+	// /debug/vars can attribute latency differences across a fleet of
+	// heterogeneous hosts.
+	engineISA := new(expvar.String)
+	engineISA.Set(simd.Active())
+	met.m.Set("engine_isa", engineISA)
 	met.m.Set("datasets", &met.datasets)
 	met.m.Set("estimations", &met.estimations)
 	met.m.Set("estimations_inflight", &met.estInflight)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/gio"
 	"repro/internal/grid"
+	"repro/internal/simd"
 )
 
 // testDomain is the event domain of the test fixtures.
@@ -757,6 +758,9 @@ func TestHealthAndVars(t *testing.T) {
 	}
 	if vars["estimations"].(float64) != 1 {
 		t.Fatalf("estimations var = %v, want 1", vars["estimations"])
+	}
+	if isa := vars["engine_isa"]; isa != simd.Active() {
+		t.Fatalf("engine_isa var = %v, want %q", isa, simd.Active())
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/simd"
 )
 
 // Core geometry types.
@@ -120,6 +121,12 @@ func SequentialAlgorithms() []string { return core.SequentialAlgorithms() }
 
 // ParallelAlgorithms returns the multi-thread algorithm identifiers.
 func ParallelAlgorithms() []string { return core.ParallelAlgorithms() }
+
+// EngineISA reports the instruction set the span engine's fill kernels
+// dispatch to on this host: "avx2" when the vectorized kernels are active,
+// "scalar" on other architectures or when built with the purego tag. The
+// choice is made once at startup and never changes.
+func EngineISA() string { return simd.Active() }
 
 // Estimate computes the STKDE of pts on spec with the named algorithm.
 func Estimate(algorithm string, pts []Point, spec Spec, opt Options) (*Result, error) {
