@@ -24,6 +24,20 @@
 //
 //	stkded -addr :8377 -peers inproc://r0,inproc://r1
 //
+// Shard fault tolerance: every rank connection runs a health state
+// machine (up → suspect → down → reconnecting) driven by background
+// heartbeat pings and error streaks, with -shard-rpc-timeout bounding
+// each exchange. A down rank degrades — not breaks — the service: region
+// and hotspot answers merge the live ranks' sketches and carry
+// "coverage" and "degraded" fields (-shard-degraded failfast refuses
+// them with the attributed rank error instead), stream mutations commit
+// on the coordinator and every live rank (their responses carry the same
+// flags), and point queries on the dead rank's temporal slab are refused
+// with 503 + Retry-After. When the rank comes back, the coordinator
+// verifies the link and rebuilds the rank's slab by deterministic replay
+// of the journaled mutation record; answers return to full coverage
+// without operator action.
+//
 // Durability: -wal-dir journals every live-stream mutation (create,
 // ingest, advance) to a segmented write-ahead log before it is
 // acknowledged, and checkpoints each stream's window every
@@ -33,8 +47,11 @@
 // acked mutation is durable), "interval" (a background flush every
 // 100ms; a crash loses at most that much), or "none" (the OS decides).
 // Journals live under <wal-dir>/<stream-id>/ and are inspectable with
-// cmd/stkdewal. Sharded streams (-peers) are not journaled here: their
-// windows live in the rank processes.
+// cmd/stkdewal. Sharded streams (-peers) journal here too — the
+// coordinator's record is what re-seeds a reconnecting rank and, on a
+// coordinator restart, re-creates the stream across the cluster by
+// replaying the journal (sharded journals skip checkpoints: the window
+// rings live in the rank processes).
 //
 //	stkded -addr :8377 -wal-dir /var/lib/stkde/wal -wal-sync always
 //
@@ -77,13 +94,18 @@
 //	                     both static grids and live windows
 //	GET  /healthz        liveness, stream count, cache occupancy, and
 //	                     admission state (queue depth, shed counts, a
-//	                     degraded flag while actively shedding)
+//	                     degraded flag while actively shedding); in shard
+//	                     mode also a "shard" section with per-rank health
+//	                     states, down count, and completed heals — a down
+//	                     rank marks the whole replica degraded
 //	GET  /debug/vars     expvar metrics (cache hits/misses, stream
 //	                     ingest/advance counters, sketch_hits /
 //	                     sketch_rebuilds, latency p50/p99, admission_*
 //	                     admitted/shed/queue-depth/per-tenant counters;
 //	                     in shard mode also shard_comm per-rank bytes,
-//	                     shard_gathers and shard_gather p50/p99)
+//	                     shard_gathers, shard_gather p50/p99, shard_health
+//	                     per-rank states, shard_heals, and
+//	                     shard_degraded_mutations)
 //
 // SIGINT/SIGTERM drain the HTTP listener and in-flight estimations before
 // exiting.
@@ -117,8 +139,10 @@ type options struct {
 	cfg         stkde.ServeConfig
 	preload     []string
 	drain       time.Duration
-	shardListen string   // host a rank endpoint here ("" = none)
-	peers       []string // shard live streams across these rank endpoints
+	shardListen string                  // host a rank endpoint here ("" = none)
+	peers       []string                // shard live streams across these rank endpoints
+	shardRPC    time.Duration           // per-RPC deadline for shard exchanges
+	shardPolicy stkde.ShardGatherPolicy // down-rank gather policy
 }
 
 // parseArgs parses the command line into options, kept separate from run
@@ -126,21 +150,23 @@ type options struct {
 func parseArgs(args []string) (options, error) {
 	fs := flag.NewFlagSet("stkded", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8377", "listen address")
-		cacheMB = fs.Int64("cache-mb", 256, "grid cache budget in MB")
-		workers = fs.Int("workers", 0, "concurrent estimations (0 = all cores)")
-		threads = fs.Int("threads", 1, "threads per estimation")
-		algo    = fs.String("algo", stkde.AlgPBSYM, "default algorithm: "+strings.Join(stkde.Algorithms(), ", "))
-		preload = fs.String("preload", "", "comma-separated CSV files to ingest at startup")
-		drain   = fs.Duration("drain", 30*time.Second, "graceful shutdown deadline")
-		shardLn = fs.String("shard-listen", "", "host a shard rank endpoint at this address (host:port) for other daemons' -peers")
-		peers   = fs.String("peers", "", "comma-separated rank endpoints to shard live streams across (host:port, or inproc://name to host the rank in-process)")
-		walDir  = fs.String("wal-dir", "", "journal live streams under this directory (created if absent); streams survive a crash via warm restart")
-		walSync = fs.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
-		snapN   = fs.Int("snapshot-every", 0, "checkpoint a stream's window every N journal records (0 = default 4096, negative = only at shutdown)")
-		sloMS   = fs.Int("slo-ms", 0, "latency SLO in ms: shed requests whose model-predicted wait exceeds it with 429 + Retry-After (0 = no SLO shedding)")
-		queueN  = fs.Int("queue-depth", 0, "bound the admission queue at this many waiters (0 = default 1024)")
-		rates   = fs.String("tenant-rate", "", "per-tenant rate limits, comma-separated limit/interval terms (e.g. 50/s,600/m,10000/h); tenants are named by the X-Tenant header")
+		addr     = fs.String("addr", ":8377", "listen address")
+		cacheMB  = fs.Int64("cache-mb", 256, "grid cache budget in MB")
+		workers  = fs.Int("workers", 0, "concurrent estimations (0 = all cores)")
+		threads  = fs.Int("threads", 1, "threads per estimation")
+		algo     = fs.String("algo", stkde.AlgPBSYM, "default algorithm: "+strings.Join(stkde.Algorithms(), ", "))
+		preload  = fs.String("preload", "", "comma-separated CSV files to ingest at startup")
+		drain    = fs.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+		shardLn  = fs.String("shard-listen", "", "host a shard rank endpoint at this address (host:port) for other daemons' -peers")
+		peers    = fs.String("peers", "", "comma-separated rank endpoints to shard live streams across (host:port, or inproc://name to host the rank in-process)")
+		shardRPC = fs.Duration("shard-rpc-timeout", 30*time.Second, "deadline for one shard RPC exchange; a rank that does not answer in time is marked failed and healed in the background")
+		shardDeg = fs.String("shard-degraded", "partial", "down-rank gather policy: partial (merge live ranks, report coverage) or failfast (refuse with the attributed rank error)")
+		walDir   = fs.String("wal-dir", "", "journal live streams under this directory (created if absent); streams survive a crash via warm restart")
+		walSync  = fs.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
+		snapN    = fs.Int("snapshot-every", 0, "checkpoint a stream's window every N journal records (0 = default 4096, negative = only at shutdown)")
+		sloMS    = fs.Int("slo-ms", 0, "latency SLO in ms: shed requests whose model-predicted wait exceeds it with 429 + Retry-After (0 = no SLO shedding)")
+		queueN   = fs.Int("queue-depth", 0, "bound the admission queue at this many waiters (0 = default 1024)")
+		rates    = fs.String("tenant-rate", "", "per-tenant rate limits, comma-separated limit/interval terms (e.g. 50/s,600/m,10000/h); tenants are named by the X-Tenant header")
 	)
 	if err := fs.Parse(args); err != nil {
 		return options{}, err // includes flag.ErrHelp; run maps it to exit 0
@@ -160,6 +186,15 @@ func parseArgs(args []string) (options, error) {
 		drain:       *drain,
 		shardListen: *shardLn,
 	}
+	if *shardRPC <= 0 {
+		return options{}, fmt.Errorf("-shard-rpc-timeout must be > 0")
+	}
+	o.shardRPC = *shardRPC
+	policy, err := stkde.ParseShardGatherPolicy(*shardDeg)
+	if err != nil {
+		return options{}, fmt.Errorf("-shard-degraded: %w", err)
+	}
+	o.shardPolicy = policy
 	if *sloMS < 0 {
 		return options{}, fmt.Errorf("-slo-ms must be >= 0")
 	}
@@ -267,8 +302,14 @@ func run(args []string) error {
 			}
 		}()
 		if len(o.peers) > 0 {
-			o.cfg.Shard = &stkde.ShardServeConfig{Peers: o.peers, Network: shardNet}
-			fmt.Printf("sharding    streams across %d rank(s)\n", len(o.peers))
+			o.cfg.Shard = &stkde.ShardServeConfig{
+				Peers:    o.peers,
+				Network:  shardNet,
+				Timeouts: stkde.ShardTimeouts{RPC: o.shardRPC},
+				Policy:   o.shardPolicy,
+			}
+			fmt.Printf("sharding    streams across %d rank(s) (rpc timeout %s, degraded policy %s)\n",
+				len(o.peers), o.shardRPC, o.shardPolicy)
 		}
 	}
 

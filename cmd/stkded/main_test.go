@@ -151,6 +151,29 @@ func TestParseArgsWAL(t *testing.T) {
 	}
 }
 
+func TestParseArgsShardFaults(t *testing.T) {
+	o, err := parseArgs([]string{"-shard-rpc-timeout", "2s", "-shard-degraded", "failfast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.shardRPC != 2*time.Second || o.shardPolicy != stkde.ShardGatherFailFast {
+		t.Fatalf("shard fault options = rpc %v policy %v", o.shardRPC, o.shardPolicy)
+	}
+	// Defaults: the dist RPC deadline, partial gathers.
+	if o, err := parseArgs(nil); err != nil || o.shardRPC != 30*time.Second || o.shardPolicy != stkde.ShardGatherPartial {
+		t.Fatalf("default shard fault options = rpc %v policy %v (%v)", o.shardRPC, o.shardPolicy, err)
+	}
+	for _, bad := range [][]string{
+		{"-shard-rpc-timeout", "0"},
+		{"-shard-rpc-timeout", "-1s"},
+		{"-shard-degraded", "yolo"},
+	} {
+		if _, err := parseArgs(bad); err == nil {
+			t.Errorf("parseArgs(%v) accepted", bad)
+		}
+	}
+}
+
 func TestParseArgsAdmission(t *testing.T) {
 	o, err := parseArgs([]string{"-slo-ms", "2000", "-queue-depth", "256", "-tenant-rate", "50/s,600/m"})
 	if err != nil {

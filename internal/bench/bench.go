@@ -171,7 +171,8 @@ type Report struct {
 func Experiments() []string {
 	return []string{"table2", "table3", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "dist", "serve",
-		"kernels", "stream", "analytics", "shard", "recover", "overload"}
+		"kernels", "stream", "analytics", "shard", "recover", "overload",
+		"faults"}
 }
 
 // Run executes the named experiment.
@@ -217,6 +218,8 @@ func Run(exp string, cfg Config) (*Report, error) {
 		return h.recoverExp()
 	case "overload":
 		return h.overloadExp()
+	case "faults":
+		return h.faultsExp()
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)",
 		exp, strings.Join(Experiments(), ", "))

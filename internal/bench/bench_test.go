@@ -23,8 +23,8 @@ func quickCfg(out *bytes.Buffer) Config {
 }
 
 func TestExperimentsList(t *testing.T) {
-	if len(Experiments()) != 19 {
-		t.Fatalf("expected 19 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 20 {
+		t.Fatalf("expected 20 experiments, got %d", len(Experiments()))
 	}
 	var out bytes.Buffer
 	for _, exp := range Experiments() {

@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Chaos wraps a Transport with deterministic fault injection for testing
+// the cluster's failure handling: per-address partitions (dials refused,
+// live connections severed), probabilistic injected errors, and fixed
+// added delay per operation. All randomness comes from one seeded
+// generator, so a failing test reproduces from its seed.
+//
+// Chaos only shapes the coordinator-side dial path (Listen passes
+// through), which is where the cluster's retry, health and re-seed
+// machinery lives; rank-side crashes are modeled in tests by closing the
+// RankServer itself.
+type Chaos struct {
+	inner Transport
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	errRate     float64
+	delay       time.Duration
+	partitioned map[string]bool
+	conns       map[string]map[*chaosConn]struct{}
+}
+
+// NewChaos wraps inner with fault injection driven by the given seed.
+func NewChaos(inner Transport, seed int64) *Chaos {
+	return &Chaos{
+		inner:       inner,
+		rng:         rand.New(rand.NewSource(seed)),
+		partitioned: make(map[string]bool),
+		conns:       make(map[string]map[*chaosConn]struct{}),
+	}
+}
+
+// Listen passes through to the wrapped transport.
+func (c *Chaos) Listen(addr string) (Listener, error) { return c.inner.Listen(addr) }
+
+// Dial refuses partitioned addresses and wraps successful connections so
+// later faults apply to them.
+func (c *Chaos) Dial(addr string) (Conn, error) {
+	c.mu.Lock()
+	blocked := c.partitioned[addr]
+	c.mu.Unlock()
+	if blocked {
+		return nil, fmt.Errorf("chaos: %s is partitioned", addr)
+	}
+	conn, err := c.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	cc := &chaosConn{c: conn, ch: c, addr: addr}
+	c.mu.Lock()
+	if c.conns[addr] == nil {
+		c.conns[addr] = make(map[*chaosConn]struct{})
+	}
+	c.conns[addr][cc] = struct{}{}
+	c.mu.Unlock()
+	return cc, nil
+}
+
+// Partition blocks (on=true) or heals (on=false) the path to addr.
+// Turning a partition on severs every live connection to the address, so
+// in-flight and pending operations fail promptly instead of timing out.
+func (c *Chaos) Partition(addr string, on bool) {
+	c.mu.Lock()
+	c.partitioned[addr] = on
+	var sever []*chaosConn
+	if on {
+		for cc := range c.conns[addr] {
+			sever = append(sever, cc)
+		}
+	}
+	c.mu.Unlock()
+	for _, cc := range sever {
+		cc.Close()
+	}
+}
+
+// SetErrorRate makes each Send fail (and sever its connection) with
+// probability p.
+func (c *Chaos) SetErrorRate(p float64) {
+	c.mu.Lock()
+	c.errRate = p
+	c.mu.Unlock()
+}
+
+// SetDelay adds d before every Send, modeling a slow or congested link.
+// The delay respects the operation's context, so cancellation still
+// interrupts a delayed operation promptly.
+func (c *Chaos) SetDelay(d time.Duration) {
+	c.mu.Lock()
+	c.delay = d
+	c.mu.Unlock()
+}
+
+func (c *Chaos) drop(cc *chaosConn) {
+	c.mu.Lock()
+	if m := c.conns[cc.addr]; m != nil {
+		delete(m, cc)
+	}
+	c.mu.Unlock()
+}
+
+type chaosConn struct {
+	c    Conn
+	ch   *Chaos
+	addr string
+}
+
+// gate applies the configured faults to one operation: partition check,
+// context-aware delay, then a seeded error roll that severs the
+// connection (a real network fault never fails politely in place).
+func (cc *chaosConn) gate(ctx context.Context) error {
+	ch := cc.ch
+	ch.mu.Lock()
+	blocked := ch.partitioned[cc.addr]
+	delay := ch.delay
+	var roll float64
+	rate := ch.errRate
+	if rate > 0 {
+		roll = ch.rng.Float64()
+	}
+	ch.mu.Unlock()
+	if blocked {
+		cc.Close()
+		return fmt.Errorf("chaos: %s is partitioned", cc.addr)
+	}
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if rate > 0 && roll < rate {
+		cc.Close()
+		return fmt.Errorf("chaos: injected fault to %s", cc.addr)
+	}
+	return nil
+}
+
+func (cc *chaosConn) Send(ctx context.Context, msg []byte) error {
+	if err := cc.gate(ctx); err != nil {
+		return err
+	}
+	return cc.c.Send(ctx, msg)
+}
+
+func (cc *chaosConn) Recv(ctx context.Context) ([]byte, error) {
+	return cc.c.Recv(ctx)
+}
+
+func (cc *chaosConn) Close() error {
+	cc.ch.drop(cc)
+	return cc.c.Close()
+}

@@ -36,6 +36,23 @@
 // incremental block sketches — O(1) partial sums and O(k) candidate lists
 // on the wire instead of O(G) slab grids.
 //
+// Fault tolerance: every rank connection runs a health state machine
+// (up → suspect → down → reconnecting; see health.go). RPC exchanges carry
+// per-exchange deadlines (Timeouts.RPC), idempotent reads retry with
+// jittered backoff, and transport-error streaks mark the rank down;
+// ConnectCluster's heartbeat monitor pings idle ranks and heals failed
+// ones in the background (dial, nonce-echo ping, then rebuild the rank's
+// slab state by deterministic replay of each StreamGroup's live events).
+// While a rank is down, sketch gathers merge the surviving ranks under
+// GatherPartial and report Coverage alongside the answer (GatherFailFast
+// refuses instead), mutations commit on the coordinator and live ranks
+// and return a DegradedError naming the reduced coverage — they are never
+// retried on the wire, since a resend could double-apply — and operations
+// pinned to the dead slab fail fast with an attributed RankError wrapping
+// ErrRankDown. The chaos harness (chaos.go, fault_test.go) kills and heals
+// ranks under a deterministic seed and asserts the healed cluster matches
+// a single-process reference within 1e-9.
+//
 // Exactness: slab sub-specs sample bitwise-identical voxel centers
 // (grid.Spec.SubSpecT), halo replication is conservative (the kernel
 // distance tests zero any voxel outside a point's true cylinder), and

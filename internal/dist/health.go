@@ -1,0 +1,285 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Failure handling. Every rank connection carries a small state machine:
+//
+//	up → suspect → down → reconnecting → up
+//
+// The first transport failure severs the connection (its frame boundary
+// is unknowable after an interrupted exchange) and moves the rank to
+// suspect; a second strike — or a failed heartbeat — confirms it down.
+// Healing redials, verifies the link with a ping, then re-seeds every
+// registered stream by deterministic replay (stream.go) before the rank
+// rejoins gathers at full coverage.
+//
+// Rank-side stream state is per-connection (server.go), so *any*
+// reconnect requires a full re-seed; the connection epoch counts severed
+// connections and lets each StreamGroup know whether its replica on a
+// rank belongs to the current connection or died with an old one.
+
+// RankState is one rank's position in the failure-handling state machine.
+type RankState int32
+
+const (
+	// RankUp: connected and answering.
+	RankUp RankState = iota
+	// RankSuspect: one unconfirmed transport failure; the connection is
+	// severed and the rank is excluded from gathers until healed.
+	RankSuspect
+	// RankDown: failure confirmed by an error streak or a failed heal.
+	RankDown
+	// RankReconnecting: a heal is in flight (dial, ping, re-seed).
+	RankReconnecting
+)
+
+func (s RankState) String() string {
+	switch s {
+	case RankUp:
+		return "up"
+	case RankSuspect:
+		return "suspect"
+	case RankDown:
+		return "down"
+	case RankReconnecting:
+		return "reconnecting"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// downStreak is the error streak that confirms a suspect rank down.
+const downStreak = 2
+
+// RankHealth is one rank's externally visible health snapshot.
+type RankHealth struct {
+	Rank    int    `json:"rank"`
+	Addr    string `json:"addr"`
+	State   string `json:"state"`
+	Streak  int    `json:"streak"`   // consecutive transport failures
+	SinceMS int64  `json:"since_ms"` // ms since the last state change
+	LastErr string `json:"last_err,omitempty"`
+}
+
+// state reads the rank's current state.
+func (rc *rankConn) getState() RankState {
+	rc.hmu.Lock()
+	defer rc.hmu.Unlock()
+	return rc.state
+}
+
+// rankUp reports whether the rank is connected and healthy.
+func (c *Cluster) rankUp(rank int) bool {
+	return c.ranks[rank].getState() == RankUp
+}
+
+// connEpoch returns the rank's connection epoch: it increments every time
+// the rank's connection is severed, so stream replicas seeded on an older
+// connection are recognizably stale.
+func (c *Cluster) connEpoch(rank int) int64 { return c.ranks[rank].epoch.Load() }
+
+// markFailure records a transport failure on a rank: the connection is
+// severed (an interrupted exchange loses the frame boundary), the epoch
+// advances, and the state machine moves toward down.
+func (c *Cluster) markFailure(rank int, err error) {
+	rc := c.ranks[rank]
+	rc.mu.Lock()
+	if rc.c != nil {
+		rc.c.Close()
+		rc.c = nil
+		rc.epoch.Add(1)
+	}
+	rc.mu.Unlock()
+	rc.hmu.Lock()
+	rc.streak++
+	rc.lastErr = err
+	switch rc.state {
+	case RankUp:
+		rc.state = RankSuspect
+		rc.since = time.Now()
+	case RankSuspect:
+		if rc.streak >= downStreak {
+			rc.state = RankDown
+			rc.since = time.Now()
+		}
+	case RankReconnecting:
+		// The in-flight heal observes its own failures and will conclude
+		// with RankDown; don't fight it from here.
+	}
+	rc.hmu.Unlock()
+}
+
+// Health returns a point-in-time health snapshot of every rank.
+func (c *Cluster) Health() []RankHealth {
+	now := time.Now()
+	out := make([]RankHealth, len(c.ranks))
+	for i, rc := range c.ranks {
+		rc.hmu.Lock()
+		h := RankHealth{
+			Rank:   i,
+			Addr:   rc.addr,
+			State:  rc.state.String(),
+			Streak: rc.streak,
+		}
+		if !rc.since.IsZero() {
+			h.SinceMS = now.Sub(rc.since).Milliseconds()
+		}
+		if rc.lastErr != nil {
+			h.LastErr = rc.lastErr.Error()
+		}
+		rc.hmu.Unlock()
+		out[i] = h
+	}
+	return out
+}
+
+// heal restores a failed rank: redial, verify the link with a ping, then
+// re-seed every registered stream by deterministic replay. The rank is
+// marked up as soon as the new connection is verified — streams route
+// around it via their seeded-epoch check until their own replay lands, so
+// coverage recovers stream by stream without a global pause.
+func (c *Cluster) heal(rank int) error {
+	rc := c.ranks[rank]
+	rc.healMu.Lock()
+	defer rc.healMu.Unlock()
+	if rc.getState() == RankUp {
+		return nil
+	}
+	setState := func(s RankState) {
+		rc.hmu.Lock()
+		rc.state = s
+		rc.since = time.Now()
+		rc.hmu.Unlock()
+	}
+	fail := func(err error) error {
+		rc.mu.Lock()
+		if rc.c != nil {
+			rc.c.Close()
+			rc.c = nil
+			rc.epoch.Add(1)
+		}
+		rc.mu.Unlock()
+		rc.hmu.Lock()
+		rc.state = RankDown
+		rc.since = time.Now()
+		rc.lastErr = err
+		rc.hmu.Unlock()
+		return err
+	}
+	setState(RankReconnecting)
+	conn, err := c.dialer.Dial(rc.addr)
+	if err != nil {
+		return fail(rankErr(rank, "dial", err))
+	}
+	rc.mu.Lock()
+	if rc.c != nil {
+		rc.c.Close()
+		rc.epoch.Add(1)
+	}
+	rc.c = &countingConn{c: conn, sent: &rc.sent, recv: &rc.recv}
+	rc.mu.Unlock()
+	if err := c.ping(rank); err != nil {
+		return fail(err)
+	}
+	// The link is verified: mark the rank up so re-seeded streams can use
+	// it immediately, then replay each stream. A stream whose replay has
+	// not landed yet still skips the rank (stale seeded epoch).
+	rc.hmu.Lock()
+	rc.state = RankUp
+	rc.streak = 0
+	rc.lastErr = nil
+	rc.since = time.Now()
+	rc.hmu.Unlock()
+	c.reseedMu.Lock()
+	fns := make([]func(int) error, 0, len(c.reseeders))
+	for _, fn := range c.reseeders {
+		fns = append(fns, fn)
+	}
+	c.reseedMu.Unlock()
+	for _, fn := range fns {
+		if err := fn(rank); err != nil {
+			return fail(err)
+		}
+	}
+	c.heals.Add(1)
+	return nil
+}
+
+// ping runs one heartbeat exchange with the rank under the heartbeat
+// timeout, verifying the echo.
+func (c *Cluster) ping(rank int) error {
+	nonce := c.pingNonce.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), c.t.Heartbeat)
+	defer cancel()
+	reply, err := c.callRaw(ctx, rank, encodePing(nonce), "ping")
+	if err != nil {
+		return err
+	}
+	echo, _, err := decodeOK(reply)
+	if err != nil {
+		return rankErr(rank, "ping", err)
+	}
+	if echo != int64(nonce) {
+		return rankErr(rank, "ping", fmt.Errorf("echoed nonce %d, want %d", echo, nonce))
+	}
+	return nil
+}
+
+// Probe runs one synchronous health pass: up ranks are heartbeat-pinged
+// (a failure severs and demotes them), failed ranks get a heal attempt.
+// It returns the post-pass health snapshot. The background monitor calls
+// this on a timer; tests call it directly for deterministic recovery.
+func (c *Cluster) Probe() []RankHealth {
+	for i := range c.ranks {
+		if c.rankUp(i) {
+			if err := c.ping(i); err != nil && isTransportErr(err) {
+				c.markFailure(i, err)
+			}
+		} else {
+			c.heal(i) // best effort; state records the outcome
+		}
+	}
+	return c.Health()
+}
+
+// monitorLoop drives Probe on a timer until the cluster closes.
+func (c *Cluster) monitorLoop(period time.Duration) {
+	defer c.monWG.Done()
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.monStop:
+			return
+		case <-tick.C:
+			c.Probe()
+		}
+	}
+}
+
+// registerReseeder installs a stream's replay hook, run by heal for every
+// reconnected rank.
+func (c *Cluster) registerReseeder(id uint64, fn func(rank int) error) {
+	c.reseedMu.Lock()
+	c.reseeders[id] = fn
+	c.reseedMu.Unlock()
+}
+
+func (c *Cluster) unregisterReseeder(id uint64) {
+	c.reseedMu.Lock()
+	delete(c.reseeders, id)
+	c.reseedMu.Unlock()
+}
+
+// retryBackoff returns the sleep before retry attempt (1-based), an
+// exponential base with jitter so simultaneous retries from many
+// coordinators do not stampede a recovering rank.
+func retryBackoff(attempt int) time.Duration {
+	base := 10 * time.Millisecond << uint(attempt-1)
+	return base + time.Duration(rand.Int63n(int64(base)))
+}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -107,13 +108,18 @@ func (s *RankServer) serveConn(c Conn) {
 		s.mu.Unlock()
 		c.Close()
 	}()
+	// The server waits for the next request unboundedly (idle coordinator
+	// connections are normal); mid-frame reads are still bounded by the
+	// transport's RPC timeout, so a coordinator dying mid-send cannot pin
+	// the handler goroutine forever.
+	ctx := context.Background()
 	for {
-		msg, err := c.Recv()
+		msg, err := c.Recv(ctx)
 		if err != nil {
 			return
 		}
 		reply := s.handle(streams, msg)
-		if err := c.Send(reply); err != nil {
+		if err := c.Send(ctx, reply); err != nil {
 			return
 		}
 	}
@@ -127,6 +133,12 @@ func (s *RankServer) handle(streams map[uint64]*rankStream, msg []byte) []byte {
 		return encodeErr("decode", "message too short for a kind")
 	}
 	switch le.Uint32(msg) {
+	case msgPing:
+		nonce, err := decodePing(msg)
+		if err != nil {
+			return encodeErr("decode", err.Error())
+		}
+		return encodeOK(int64(nonce), 0)
 	case msgEstimate:
 		q, err := decodeEstimate(msg)
 		if err != nil {

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -26,13 +27,61 @@ import (
 // pick a transport by address scheme (see Network) and everything above the
 // Conn interface is transport-agnostic.
 
+// Timeouts bounds the transport's blocking operations. The zero value of
+// any field selects its default; explicit negative values are rejected by
+// Validate so a mistyped flag cannot silently disable failure detection.
+type Timeouts struct {
+	// Dial bounds connection establishment (default 5s).
+	Dial time.Duration
+	// RPC bounds one request/response exchange with a rank, end to end
+	// (default 30s). Waiting for the *next* request on an idle server
+	// connection is deliberately unbounded.
+	RPC time.Duration
+	// Heartbeat bounds one health-probe ping exchange (default 1s) —
+	// deliberately much tighter than RPC, so a dead rank is detected fast
+	// without declaring a slow estimation dead.
+	Heartbeat time.Duration
+}
+
+// Validate rejects negative timeouts. Zero fields are allowed and mean
+// "use the default"; callers that want to reject zero too (e.g. flag
+// parsing) should check before constructing the struct.
+func (t Timeouts) Validate() error {
+	if t.Dial < 0 {
+		return fmt.Errorf("dist: dial timeout must be positive, got %v", t.Dial)
+	}
+	if t.RPC < 0 {
+		return fmt.Errorf("dist: rpc timeout must be positive, got %v", t.RPC)
+	}
+	if t.Heartbeat < 0 {
+		return fmt.Errorf("dist: heartbeat timeout must be positive, got %v", t.Heartbeat)
+	}
+	return nil
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (t Timeouts) withDefaults() Timeouts {
+	if t.Dial == 0 {
+		t.Dial = 5 * time.Second
+	}
+	if t.RPC == 0 {
+		t.RPC = 30 * time.Second
+	}
+	if t.Heartbeat == 0 {
+		t.Heartbeat = time.Second
+	}
+	return t
+}
+
 // Conn is one bidirectional message pipe. Send and Recv move whole
-// messages; implementations are safe for one concurrent sender plus one
-// concurrent receiver (the request/response discipline of rankConn
-// serializes callers anyway).
+// messages and honor the context's deadline and cancellation; a Conn whose
+// Send or Recv was interrupted mid-frame is poisoned and must be closed,
+// not reused (the frame boundary is lost). Implementations are safe for
+// one concurrent sender plus one concurrent receiver (the request/response
+// discipline of rankConn serializes callers anyway).
 type Conn interface {
-	Send(msg []byte) error
-	Recv() ([]byte, error)
+	Send(ctx context.Context, msg []byte) error
+	Recv(ctx context.Context) ([]byte, error)
 	Close() error
 }
 
@@ -54,22 +103,19 @@ var errClosed = errors.New("dist: connection closed")
 
 // ---------------------------------------------------------------- TCP ----
 
-// TCPTransport carries frames over real TCP sockets. Timeout bounds every
-// write and every payload read; waiting for the *next* frame's length
-// prefix is deliberately unbounded, so idle connections survive and a slow
-// estimation on the far side does not kill the link — but a peer that dies
-// mid-frame fails within Timeout instead of hanging forever.
+// TCPTransport carries frames over real TCP sockets. The context passed to
+// Send/Recv bounds each operation; waiting for the *next* frame's length
+// prefix under a background context is deliberately unbounded, so idle
+// connections survive and a slow estimation on the far side does not kill
+// the link — but a peer that dies mid-frame fails within Timeouts.RPC
+// instead of hanging forever.
 type TCPTransport struct {
-	// Timeout is the per-operation deadline (default 30s).
-	Timeout time.Duration
+	// Timeouts bounds dialing and mid-frame reads. Zero fields default
+	// (Dial 5s, RPC 30s, Heartbeat 1s).
+	Timeouts Timeouts
 }
 
-func (t *TCPTransport) timeout() time.Duration {
-	if t.Timeout > 0 {
-		return t.Timeout
-	}
-	return 30 * time.Second
-}
+func (t *TCPTransport) eff() Timeouts { return t.Timeouts.withDefaults() }
 
 // Listen binds a real socket; addr ":0" picks a free port (Addr reports it).
 func (t *TCPTransport) Listen(addr string) (Listener, error) {
@@ -81,7 +127,7 @@ func (t *TCPTransport) Listen(addr string) (Listener, error) {
 }
 
 func (t *TCPTransport) Dial(addr string) (Conn, error) {
-	c, err := net.DialTimeout("tcp", addr, t.timeout())
+	c, err := net.DialTimeout("tcp", addr, t.eff().Dial)
 	if err != nil {
 		return nil, err
 	}
@@ -109,22 +155,47 @@ type tcpConn struct {
 	t *TCPTransport
 }
 
-func (c *tcpConn) Send(msg []byte) error {
-	if err := c.c.SetWriteDeadline(time.Now().Add(c.t.timeout())); err != nil {
+// withCtx runs one socket operation under the context: the socket deadline
+// mirrors the context's, and a cancellation mid-operation forces the
+// socket deadline into the past, which unblocks the pending read or write.
+// An interrupted operation leaves the connection poisoned (mid-frame);
+// callers discard the Conn on any error, so no deadline cleanup beyond the
+// next operation's reset is needed.
+func (c *tcpConn) withCtx(ctx context.Context, op func() error) error {
+	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return writeFrame(c.c, msg)
+	if d, ok := ctx.Deadline(); ok {
+		if err := c.c.SetDeadline(d); err != nil {
+			return err
+		}
+	} else if err := c.c.SetDeadline(time.Time{}); err != nil {
+		return err
+	}
+	stop := context.AfterFunc(ctx, func() { c.c.SetDeadline(time.Unix(1, 0)) })
+	err := op()
+	stop()
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
 }
 
-func (c *tcpConn) Recv() ([]byte, error) {
-	// Block without a deadline for the length prefix (an idle or busy peer
-	// is fine), then bound the payload read: once the prefix arrived the
-	// rest of the frame should follow promptly.
-	if err := c.c.SetReadDeadline(time.Time{}); err != nil {
-		return nil, err
-	}
+func (c *tcpConn) Send(ctx context.Context, msg []byte) error {
+	return c.withCtx(ctx, func() error { return writeFrame(c.c, msg) })
+}
+
+func (c *tcpConn) Recv(ctx context.Context) ([]byte, error) {
+	// The length prefix may legitimately take long to arrive (idle server
+	// connection, busy peer): it waits under the caller's context alone.
+	// Once the prefix arrived the rest of the frame should follow
+	// promptly, so the payload read is additionally bounded by the RPC
+	// timeout even when the context has no deadline.
 	var hdr [frameHeaderBytes]byte
-	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+	if err := c.withCtx(ctx, func() error {
+		_, err := io.ReadFull(c.c, hdr[:])
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	n := le.Uint32(hdr[:])
@@ -134,11 +205,17 @@ func (c *tcpConn) Recv() ([]byte, error) {
 	if n > maxFrameBytes {
 		return nil, fmt.Errorf("dist: frame prefix announces %d bytes, limit is %d", n, maxFrameBytes)
 	}
-	if err := c.c.SetReadDeadline(time.Now().Add(c.t.timeout())); err != nil {
-		return nil, err
+	pctx := ctx
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		pctx, cancel = context.WithTimeout(ctx, c.t.eff().RPC)
+		defer cancel()
 	}
 	msg := make([]byte, n)
-	if _, err := io.ReadFull(c.c, msg); err != nil {
+	if err := c.withCtx(pctx, func() error {
+		_, err := io.ReadFull(c.c, msg)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	return msg, nil
@@ -238,16 +315,18 @@ type inprocConn struct {
 	once *sync.Once
 }
 
-func (c *inprocConn) Send(msg []byte) error {
+func (c *inprocConn) Send(ctx context.Context, msg []byte) error {
 	select {
 	case c.out <- msg:
 		return nil
 	case <-c.done:
 		return errClosed
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
-func (c *inprocConn) Recv() ([]byte, error) {
+func (c *inprocConn) Recv(ctx context.Context) ([]byte, error) {
 	select {
 	case msg := <-c.in:
 		return msg, nil
@@ -259,6 +338,8 @@ func (c *inprocConn) Recv() ([]byte, error) {
 		default:
 			return nil, errClosed
 		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }
 
@@ -271,7 +352,8 @@ func (c *inprocConn) Close() error {
 
 // Network bundles the two transports behind address-scheme dispatch:
 // "inproc://name" stays in-process, anything else is a TCP host:port. One
-// Network per process is typical; inproc names are scoped to it.
+// Network per process is typical; inproc names are scoped to it. Network
+// itself satisfies Transport, so it can be wrapped (see Chaos).
 type Network struct {
 	TCP    TCPTransport
 	inproc *InprocTransport
@@ -319,23 +401,24 @@ func (l prefixedListener) Addr() string { return inprocScheme + l.Listener.Addr(
 
 // countingConn measures the bytes a connection moves, including the frame
 // prefix, so TCP and inproc report identical numbers for identical message
-// sequences. Counters are atomics: metrics endpoints read them while calls
-// are in flight.
+// sequences. The counters live in the owning rankConn (as pointers here),
+// so byte totals accumulate across reconnects. Counters are atomics:
+// metrics endpoints read them while calls are in flight.
 type countingConn struct {
 	c          Conn
-	sent, recv atomic.Int64
+	sent, recv *atomic.Int64
 }
 
-func (c *countingConn) Send(msg []byte) error {
-	if err := c.c.Send(msg); err != nil {
+func (c *countingConn) Send(ctx context.Context, msg []byte) error {
+	if err := c.c.Send(ctx, msg); err != nil {
 		return err
 	}
 	c.sent.Add(int64(len(msg)) + frameHeaderBytes)
 	return nil
 }
 
-func (c *countingConn) Recv() ([]byte, error) {
-	msg, err := c.c.Recv()
+func (c *countingConn) Recv(ctx context.Context) ([]byte, error) {
+	msg, err := c.c.Recv(ctx)
 	if err != nil {
 		return nil, err
 	}

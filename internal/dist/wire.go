@@ -25,6 +25,7 @@ import (
 //	topk:         kind id k scale(f64)          -> topkAns
 //	topkAns:      kind rebuilds(i64) count then count x (X, Y, T i64, V f64)
 //	snapshot:     kind id                       -> gather
+//	ping:         kind nonce(u64)               -> ok(nonce, 0)
 const (
 	msgEstimate     uint32 = 3
 	msgErr          uint32 = 4
@@ -38,6 +39,7 @@ const (
 	msgTopK         uint32 = 12
 	msgTopKAns      uint32 = 13
 	msgSnapshot     uint32 = 14
+	msgPing         uint32 = 15
 
 	specBytes      = 16 * 8 // 10 float64 fields + 6 integer fields
 	candidateBytes = 32     // X, Y, T as i64 plus V as f64
@@ -502,6 +504,25 @@ func decodeSnapshot(msg []byte) (id uint64, err error) {
 	return id, r.done()
 }
 
+// encodePing builds a heartbeat probe; the rank echoes the nonce in a
+// msgOK reply, proving the connection pairs requests with replies (a stale
+// or crossed reply fails the nonce check, not just the transport).
+func encodePing(nonce uint64) []byte {
+	w := newWriter(12)
+	w.u32(msgPing)
+	w.u64(nonce)
+	return w.b
+}
+
+func decodePing(msg []byte) (nonce uint64, err error) {
+	r := &reader{b: msg}
+	if r.u32() != msgPing {
+		return 0, fmt.Errorf("dist: not a ping message")
+	}
+	nonce = r.u64()
+	return nonce, r.done()
+}
+
 // decodeAny exercises the decoder for whatever kind the payload claims —
 // the fuzzing entry point, and the server's dispatch guard: every arm must
 // reject corrupt input with an error, never a panic or an unbounded
@@ -540,6 +561,8 @@ func decodeAny(msg []byte) error {
 		_, _, err = decodeTopKAns(msg)
 	case msgSnapshot:
 		_, err = decodeSnapshot(msg)
+	case msgPing:
+		_, err = decodePing(msg)
 	default:
 		err = fmt.Errorf("dist: unknown message kind %d", le.Uint32(msg))
 	}

@@ -30,6 +30,7 @@ func wireCorpus(t testing.TB) [][]byte {
 		encodeTopK(9, 5, 0.5),
 		encodeTopKAns(4, []grid.VoxelDensity{{X: 1, Y: 2, T: 3, V: 0.5}}),
 		encodeSnapshot(9),
+		encodePing(31),
 	}
 }
 

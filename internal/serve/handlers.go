@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/gio"
 	"repro/internal/grid"
 )
@@ -60,6 +61,36 @@ func writeWorkErr(w http.ResponseWriter, err error) {
 		return
 	}
 	writeErr(w, ensureStatus(err), "%v", err)
+}
+
+// writeRankErr writes a sharded-stream refusal attributed to a rank: 503
+// Service Unavailable with a short Retry-After, because the cluster's
+// health monitor heals failed ranks on its own — the client should retry
+// the same request, not route around it. The rank and protocol phase are
+// surfaced so a multi-rank incident is diagnosable from the response
+// alone. Returns false (writing nothing) when err carries no RankError.
+func writeRankErr(w http.ResponseWriter, err error) bool {
+	var re *dist.RankError
+	if !errors.As(err, &re) {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":         err.Error(),
+		"rank":          re.Rank,
+		"phase":         re.Phase,
+		"retry_after_s": 1,
+	})
+	return true
+}
+
+// writeStreamErr routes a stream-operation failure: rank-attributed
+// refusals get the retryable 503 shape, anything else the given fallback
+// status.
+func writeStreamErr(w http.ResponseWriter, fallback int, err error) {
+	if !writeRankErr(w, err) {
+		writeErr(w, fallback, "%v", err)
+	}
 }
 
 // admitTenant applies the per-tenant sliding-window rate limits to one
@@ -386,7 +417,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// through to the exact evaluator over the live events.
 	if !exactReq {
 		if st, ok := s.streams.get(k.Dataset); ok {
-			if density, vox, window, ok := st.voxelDensity(k.Spec, x, y, t); ok {
+			density, vox, window, ok, verr := st.voxelDensity(k.Spec, x, y, t)
+			if verr != nil {
+				// The voxel's owning slab rank is down: there is no partial
+				// answer for a point query, and the exact fallback would
+				// silently serve a different (coordinator-local) estimate.
+				// Refuse with the attributed rank so the client retries
+				// after the heal.
+				writeStreamErr(w, http.StatusServiceUnavailable, verr)
+				return
+			}
+			if ok {
 				s.met.streamReads.Add(1)
 				writeJSON(w, http.StatusOK, map[string]any{
 					"density": density,
@@ -471,15 +512,25 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	clipped := box.Clip(k.Spec.Bounds())
 	boxJSON := [6]int{clipped.X0, clipped.X1, clipped.Y0, clipped.Y1, clipped.T0, clipped.T1}
 	if st, isStream := s.streams.get(k.Dataset); isStream {
-		if mass, rebuilt, ok := s.sketchBoxMass(st, k.Spec, box); ok {
+		mass, cov, rebuilt, ok, serr := s.sketchBoxMass(st, k.Spec, box)
+		if serr != nil {
+			// Fail-fast policy, or every rank down: refuse rather than fall
+			// back to the batch path, which would answer from the
+			// coordinator's live list as if coverage were full.
+			writeStreamErr(w, http.StatusServiceUnavailable, serr)
+			return
+		}
+		if ok {
 			s.met.sketchHits.Add(1)
 			s.met.sketchRebuilds.Add(rebuilt)
 			writeJSON(w, http.StatusOK, map[string]any{
-				"mass":   mass,
-				"box":    boxJSON,
-				"voxels": clipped.Count(),
-				"cached": false,
-				"source": "sketch",
+				"mass":     mass,
+				"box":      boxJSON,
+				"voxels":   clipped.Count(),
+				"cached":   false,
+				"source":   "sketch",
+				"coverage": cov.Fraction(),
+				"degraded": cov.Degraded(),
 			})
 			return
 		}
@@ -555,13 +606,20 @@ func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if st, isStream := s.streams.get(k.Dataset); isStream {
-		if top, rebuilt, ok := s.sketchTopK(st, k.Spec, topK); ok {
+		top, cov, rebuilt, ok, serr := s.sketchTopK(st, k.Spec, topK)
+		if serr != nil {
+			writeStreamErr(w, http.StatusServiceUnavailable, serr)
+			return
+		}
+		if ok {
 			s.met.sketchHits.Add(1)
 			s.met.sketchRebuilds.Add(rebuilt)
 			writeJSON(w, http.StatusOK, map[string]any{
 				"hotspots": toHotspotsJSON(k.Spec, top),
 				"cached":   false,
 				"source":   "sketch",
+				"coverage": cov.Fraction(),
+				"degraded": cov.Degraded(),
 			})
 			return
 		}
@@ -601,6 +659,12 @@ type streamJSON struct {
 	Window   [2]float64 `json:"window"` // continuous time range [t0, t1)
 	Grid     [3]int     `json:"grid"`
 	Version  int64      `json:"version"`
+	// Degraded and Coverage appear exactly when a sharded mutation
+	// committed with a slab rank down: the mutation is durable on the
+	// coordinator and reached Coverage (< 1) of the slab ranks; the rest
+	// catch up by replay when they heal.
+	Degraded bool    `json:"degraded,omitempty"`
+	Coverage float64 `json:"coverage,omitempty"`
 }
 
 func (s *Server) toStreamJSON(st *stream) streamJSON {
@@ -735,15 +799,19 @@ func (s *Server) handleDatasetSub(w http.ResponseWriter, r *http.Request) {
 			writeWorkErr(w, err)
 			return
 		}
-		total, err := s.streamIngest(st, pts)
+		total, cov, err := s.streamIngest(st, pts)
 		release()
 		if err != nil {
-			writeErr(w, http.StatusNotFound, "%v", err)
+			writeStreamErr(w, http.StatusNotFound, err)
 			return
 		}
 		out := s.toStreamJSON(st)
 		out.Added = len(pts)
 		out.Points = total
+		if cov.Degraded() {
+			out.Degraded = true
+			out.Coverage = cov.Fraction()
+		}
 		writeJSON(w, http.StatusOK, out)
 	case "advance":
 		var req struct {
@@ -766,15 +834,19 @@ func (s *Server) handleDatasetSub(w http.ResponseWriter, r *http.Request) {
 			writeWorkErr(w, err)
 			return
 		}
-		advanced, expired, err := s.streamAdvance(st, *req.T)
+		advanced, expired, cov, err := s.streamAdvance(st, *req.T)
 		release()
 		if err != nil {
-			writeErr(w, http.StatusNotFound, "%v", err)
+			writeStreamErr(w, http.StatusNotFound, err)
 			return
 		}
 		out := s.toStreamJSON(st)
 		out.Advanced = advanced
 		out.Expired = expired
+		if cov.Degraded() {
+			out.Degraded = true
+			out.Coverage = cov.Fraction()
+		}
 		writeJSON(w, http.StatusOK, out)
 	default:
 		writeErr(w, http.StatusNotFound, "unknown action %q: use events or advance", action)
@@ -795,17 +867,14 @@ func ensureStatus(err error) int {
 // handleHealth is the liveness endpoint. Beyond liveness it reports the
 // admission state — queue depth, shed counts, and a degraded flag while
 // the server is actively shedding — so an orchestrator can route traffic
-// around hot replicas before they start refusing it.
+// around hot replicas before they start refusing it. On a sharded server
+// the response carries a "shard" section with the per-rank health
+// machine states and heal count; a down rank marks the whole replica
+// degraded, since every sharded answer it gives is partial.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	entries, bytes, limit := s.cache.stats()
 	degraded := s.adm.degraded()
-	status := "ok"
-	if degraded {
-		status = "degraded"
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":            status,
-		"degraded":          degraded,
+	resp := map[string]any{
 		"uptime_s":          time.Since(s.start).Seconds(),
 		"datasets":          len(s.reg.list()),
 		"streams":           s.streams.count(),
@@ -815,7 +884,37 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"queue_depth":       s.adm.queueDepth(),
 		"admitted":          s.met.admAdmitted.Value(),
 		"shed":              s.met.admShed.Value(),
-	})
+	}
+	// Read the already-connected cluster without triggering a lazy dial:
+	// liveness must not block on peers.
+	s.shardMu.Lock()
+	cl := s.shardCl
+	s.shardMu.Unlock()
+	if cl != nil {
+		health := cl.Health()
+		down := 0
+		for _, h := range health {
+			if h.State != dist.RankUp.String() {
+				down++
+			}
+		}
+		if down > 0 {
+			degraded = true
+		}
+		resp["shard"] = map[string]any{
+			"ranks":        len(health),
+			"down":         down,
+			"heals":        cl.Heals(),
+			"ranks_health": health,
+		}
+	}
+	status := "ok"
+	if degraded {
+		status = "degraded"
+	}
+	resp["status"] = status
+	resp["degraded"] = degraded
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleVars renders the server's private expvar map in the standard

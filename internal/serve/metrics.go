@@ -45,8 +45,9 @@ type metrics struct {
 	walRecovered       expvar.Int // streams rebuilt by Recover
 	walReplayed        expvar.Int // journal records replayed by Recover
 
-	shardGathers expvar.Int   // cross-shard gathers (sketch merges + snapshots)
-	shardLatency *latencyHist // wall time of those gathers
+	shardGathers  expvar.Int   // cross-shard gathers (sketch merges + snapshots)
+	shardLatency  *latencyHist // wall time of those gathers
+	shardDegraded expvar.Int   // mutations committed at reduced coverage (a rank was down)
 
 	admAdmitted   expvar.Int  // work requests granted a pool slot
 	admShed       expvar.Int  // work requests shed (all reasons)
@@ -95,6 +96,7 @@ func newMetrics() *metrics {
 	met.m.Set("shard_gathers", &met.shardGathers)
 	met.m.Set("shard_gather_p50_ms", expvar.Func(func() any { return met.shardLatency.quantile(0.50) * 1e3 }))
 	met.m.Set("shard_gather_p99_ms", expvar.Func(func() any { return met.shardLatency.quantile(0.99) * 1e3 }))
+	met.m.Set("shard_degraded_mutations", &met.shardDegraded)
 	met.admTenantShed = new(expvar.Map).Init()
 	met.m.Set("admission_admitted", &met.admAdmitted)
 	met.m.Set("admission_shed", &met.admShed)
@@ -114,12 +116,15 @@ func (m *metrics) publishAdmission(a *admission) {
 	m.m.Set("admission_wait_error_ms", expvar.Func(func() any { return a.waitErrorMS() }))
 }
 
-// publishShard exposes the connected cluster's rank count and cumulative
+// publishShard exposes the connected cluster's rank count, cumulative
 // per-rank communication profile (bytes sent/received, frame prefixes
-// included) in /debug/vars. Called once, when the shard cluster connects.
+// included), live per-rank health, and completed heal count in
+// /debug/vars. Called once, when the shard cluster connects.
 func (m *metrics) publishShard(cl *dist.Cluster) {
 	m.m.Set("shard_ranks", expvar.Func(func() any { return cl.Ranks() }))
 	m.m.Set("shard_comm", expvar.Func(func() any { return cl.CommStats() }))
+	m.m.Set("shard_health", expvar.Func(func() any { return cl.Health() }))
+	m.m.Set("shard_heals", expvar.Func(func() any { return cl.Heals() }))
 }
 
 // latencyHist keeps a bounded ring of recent request latencies and answers

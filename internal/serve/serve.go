@@ -30,6 +30,18 @@
 //     expvar-style metrics and graceful shutdown that drains in-flight
 //     estimations.
 //
+// With Config.Shard set, stream windows are carved across a rank cluster
+// (repro/internal/dist) and the server degrades instead of breaking when
+// a rank dies: region/hotspot answers merge the live ranks' sketches and
+// carry "coverage"/"degraded" fields (ShardConfig.Policy selects failing
+// fast instead), mutations commit on the coordinator and live ranks and
+// report the same flags, point queries on a dead rank's slab are refused
+// with 503 + Retry-After and the attributed rank, /healthz gains a
+// per-rank "shard" health section, and a reconnecting rank is re-seeded
+// by replay. Sharded streams journal through Config.WAL like local ones
+// (minus snapshots), so a coordinator restart rebuilds them by replaying
+// the journal through the cluster.
+//
 // Only the standard library is used.
 package serve
 
@@ -143,6 +155,22 @@ type ShardConfig struct {
 	// Network supplies the transports (default dist.NewNetwork()). Pass
 	// the network the in-process ranks listen on when using inproc peers.
 	Network *dist.Network
+
+	// Timeouts bounds cluster dialing, per-RPC exchanges, and heartbeat
+	// pings. Zero fields take the dist defaults (5s / 30s / 1s).
+	Timeouts dist.Timeouts
+
+	// Policy selects how sharded analytics behave when a rank is down:
+	// dist.GatherPartial (default) answers from the live ranks and
+	// reports the reduced coverage; dist.GatherFailFast refuses degraded
+	// answers with an attributed error.
+	Policy dist.GatherPolicy
+
+	// HeartbeatEvery is the background health-probe period: dead ranks
+	// are detected, redialed and re-seeded without waiting for a request
+	// to trip over them. Zero defaults to 1s; negative disables the
+	// monitor (failures are still detected on the erroring call).
+	HeartbeatEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -317,7 +345,18 @@ func (s *Server) shardCluster() (*dist.Cluster, error) {
 		if n == nil {
 			n = dist.NewNetwork()
 		}
-		s.shardCl, s.shardErr = dist.Connect(n, s.cfg.Shard.Peers)
+		every := s.cfg.Shard.HeartbeatEvery
+		switch {
+		case every == 0:
+			every = time.Second
+		case every < 0:
+			every = 0 // monitor disabled
+		}
+		s.shardCl, s.shardErr = dist.ConnectCluster(n, s.cfg.Shard.Peers, dist.ClusterOptions{
+			Timeouts:       s.cfg.Shard.Timeouts,
+			Policy:         s.cfg.Shard.Policy,
+			HeartbeatEvery: every,
+		})
 		if s.shardErr == nil {
 			s.met.publishShard(s.shardCl)
 		}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/grid"
 	"repro/internal/wal"
 )
@@ -32,6 +33,20 @@ type liveWindow interface {
 	SketchRebuilds() int64
 	Release()
 }
+
+// coverageWindow is the optional fault-tolerance extension of liveWindow:
+// a sharded window (dist.StreamGroup) reports, next to every gather, how
+// many of its slab ranks actually contributed. Local windows do not
+// implement it — their coverage is definitionally full.
+type coverageWindow interface {
+	BoxMassCov(b grid.Box) (float64, dist.Coverage, error)
+	TopKCov(k int) ([]grid.VoxelDensity, dist.Coverage, error)
+	Coverage() dist.Coverage
+}
+
+// fullCoverage is the coverage of a window that lives entirely in this
+// process: one of one.
+var fullCoverage = dist.Coverage{Live: 1, Total: 1}
 
 // localWindow adapts *core.Updater — whose mutators cannot fail — to the
 // liveWindow contract.
@@ -70,9 +85,12 @@ type stream struct {
 	base    grid.Spec // creation spec (OT == 0); requests resolve against it
 	sharded bool      // window lives on the rank cluster, not in this process
 
-	// jr is the stream's durability journal (nil without a WAL config, and
-	// for sharded streams, whose windows live in the rank processes).
-	// Immutable after registerStream.
+	// jr is the stream's durability journal (nil without a WAL config).
+	// Sharded streams journal too — the coordinator's mutation record is
+	// what rebuilds rank slabs on reconnect and re-creates the cluster
+	// state after a coordinator restart — but never checkpoint: the
+	// window ring lives in the rank processes, so there is no local state
+	// to snapshot. Immutable after registerStream.
 	jr *streamJournal
 
 	mu      sync.Mutex
@@ -101,78 +119,107 @@ func (st *stream) windowSpec(req grid.Spec) (grid.Spec, bool) {
 // ring when the spec is the current window and the location falls inside
 // it, returning the window time range from the same lock hold so the
 // response fields are mutually consistent. The boolean reports whether
-// the stream could answer; callers fall back to the exact evaluator
-// otherwise.
-func (st *stream) voxelDensity(spec grid.Spec, x, y, t float64) (density float64, vox [3]int, window [2]float64, ok bool) {
+// the stream could answer; callers fall back to the exact evaluator when
+// it is false AND err is nil. A non-nil err means the voxel's owning
+// shard rank is down: there is no partial answer for a single voxel, so
+// the failure is surfaced (attributed RankError) for the handler to turn
+// into a retryable refusal rather than silently scanning the full live
+// list.
+func (st *stream) voxelDensity(spec grid.Spec, x, y, t float64) (density float64, vox [3]int, window [2]float64, ok bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.deleted || spec != st.up.Spec() {
-		return 0, [3]int{}, [2]float64{}, false
+		return 0, [3]int{}, [2]float64{}, false, nil
 	}
 	// Inclusion form, so a NaN coordinate fails the guard instead of
 	// slipping past two exclusion comparisons (CoversT likewise rejects
 	// NaN t: its comparisons are all false).
 	d := spec.Domain
 	if !(x >= d.X0 && x < d.X0+d.GX && y >= d.Y0 && y < d.Y0+d.GY) || !spec.CoversT(t) {
-		return 0, [3]int{}, [2]float64{}, false
+		return 0, [3]int{}, [2]float64{}, false, nil
 	}
 	// CoversT holds, so VoxelOf's clamped layer is the true layer.
 	X, Y, T := spec.VoxelOf(grid.Point{X: x, Y: y, T: t})
 	t0, t1 := st.up.Window()
 	dens, err := st.up.At(X, Y, T)
-	if err != nil { // sharded transport failure: fall back to the evaluator
-		return 0, [3]int{}, [2]float64{}, false
+	if err != nil {
+		var re *dist.RankError
+		if st.sharded && errors.As(err, &re) {
+			return 0, [3]int{}, [2]float64{}, false, err
+		}
+		return 0, [3]int{}, [2]float64{}, false, nil
 	}
-	return dens, [3]int{X, Y, T}, [2]float64{t0, t1}, true
+	return dens, [3]int{X, Y, T}, [2]float64{t0, t1}, true, nil
 }
 
 // sketchBoxMass answers a region query for the live window straight from
 // the updater's incremental sketch — no O(G) snapshot, no estimation. The
 // boolean reports whether the stream could answer (the spec must be the
-// current window and the lazy sketch must fit the budget); callers fall
-// back to the snapshot path otherwise. Dirty blocks are rebuilt under
-// st.mu, the lock every mutation already holds, so the answer is exactly
-// consistent with the events ingested so far.
-func (s *Server) sketchBoxMass(st *stream, spec grid.Spec, b grid.Box) (mass float64, rebuilt int64, ok bool) {
+// current window and, locally, the lazy sketch must fit the budget);
+// callers fall back to the snapshot path when it is false AND err is nil.
+// Dirty blocks are rebuilt under st.mu, the lock every mutation already
+// holds, so the answer is exactly consistent with the events ingested so
+// far. A sharded window additionally reports its gather coverage: under
+// the partial policy a down rank reduces cov below full instead of
+// failing, and a non-nil err (fail-fast policy, or every rank down) must
+// be surfaced to the client — the batch fallback would silently answer
+// from the coordinator's live list as if coverage were full.
+func (s *Server) sketchBoxMass(st *stream, spec grid.Spec, b grid.Box) (mass float64, cov dist.Coverage, rebuilt int64, ok bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	cov = fullCoverage
 	if st.deleted || spec != st.up.Spec() {
-		return 0, 0, false
+		return 0, cov, 0, false, nil
 	}
 	defer s.observeShardGather(st)()
 	before := st.up.SketchRebuilds()
-	mass, err := st.up.BoxMass(b)
-	if err != nil {
-		if !s.evictForSketch(spec, err) {
-			return 0, 0, false
+	if cw, sharded := st.up.(coverageWindow); sharded {
+		mass, cov, err = cw.BoxMassCov(b)
+		if err != nil {
+			return 0, cov, 0, false, err
 		}
-		if mass, err = st.up.BoxMass(b); err != nil {
-			return 0, 0, false
+		return mass, cov, st.up.SketchRebuilds() - before, true, nil
+	}
+	mass, berr := st.up.BoxMass(b)
+	if berr != nil {
+		if !s.evictForSketch(spec, berr) {
+			return 0, cov, 0, false, nil
+		}
+		if mass, berr = st.up.BoxMass(b); berr != nil {
+			return 0, cov, 0, false, nil
 		}
 	}
-	return mass, st.up.SketchRebuilds() - before, true
+	return mass, cov, st.up.SketchRebuilds() - before, true, nil
 }
 
 // sketchTopK answers a hotspot query from the live window's incremental
 // sketch, under the same contract as sketchBoxMass.
-func (s *Server) sketchTopK(st *stream, spec grid.Spec, k int) (top []grid.VoxelDensity, rebuilt int64, ok bool) {
+func (s *Server) sketchTopK(st *stream, spec grid.Spec, k int) (top []grid.VoxelDensity, cov dist.Coverage, rebuilt int64, ok bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	cov = fullCoverage
 	if st.deleted || spec != st.up.Spec() {
-		return nil, 0, false
+		return nil, cov, 0, false, nil
 	}
 	defer s.observeShardGather(st)()
 	before := st.up.SketchRebuilds()
-	top, err := st.up.TopK(k)
-	if err != nil {
-		if !s.evictForSketch(spec, err) {
-			return nil, 0, false
+	if cw, sharded := st.up.(coverageWindow); sharded {
+		top, cov, err = cw.TopKCov(k)
+		if err != nil {
+			return nil, cov, 0, false, err
 		}
-		if top, err = st.up.TopK(k); err != nil {
-			return nil, 0, false
+		return top, cov, st.up.SketchRebuilds() - before, true, nil
+	}
+	top, terr := st.up.TopK(k)
+	if terr != nil {
+		if !s.evictForSketch(spec, terr) {
+			return nil, cov, 0, false, nil
+		}
+		if top, terr = st.up.TopK(k); terr != nil {
+			return nil, cov, 0, false, nil
 		}
 	}
-	return top, st.up.SketchRebuilds() - before, true
+	return top, cov, st.up.SketchRebuilds() - before, true, nil
 }
 
 // observeShardGather times one cross-shard gather (a sketch merge or a
@@ -305,9 +352,20 @@ func (s *Server) createStream(spec grid.Spec) (*stream, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Sharded windows live in the rank processes, so this server does
-		// not journal them: their durability is the ranks' concern.
-		return s.registerStream(s.streams.nextID(), sg, spec, true, nil), nil
+		// Sharded windows keep their rings in the rank processes, but rank
+		// memory is volatile: any reconnect rebuilds a rank's slab by
+		// replaying the coordinator's record of the stream. Journaling the
+		// mutations here (exactly like a local stream, minus snapshots —
+		// the window lives elsewhere) makes the coordinator's record
+		// durable, so a coordinator restart re-creates the sharded stream
+		// and re-seeds the whole cluster from the journal.
+		id := s.streams.nextID()
+		jr, err := s.openCreateJournal(id, spec)
+		if err != nil {
+			sg.Release()
+			return nil, err
+		}
+		return s.registerStream(id, sg, spec, true, jr), nil
 	}
 	// Stream rings are pinned for the server's lifetime, so cap their
 	// total share at half the cache budget: one oversized window must
@@ -345,31 +403,39 @@ func (s *Server) createStream(spec grid.Spec) (*stream, error) {
 			return nil, err
 		}
 	}
-	// Journal the creation before the stream becomes visible: the create
-	// record (always LSN 1) is what recovery cold-starts from when no
-	// snapshot has been written yet. A journal failure aborts the create —
-	// a stream that cannot be made durable must not accept events.
 	id := s.streams.nextID()
-	var jr *streamJournal
-	if s.cfg.WAL != nil {
-		var err error
-		jr, _, err = s.openJournal(id)
-		if err == nil {
-			if _, err = jr.log.Append(wal.Record{Kind: wal.KindCreate, Spec: spec}); err == nil {
-				err = jr.log.Commit()
-			}
-			if err != nil {
-				jr.log.Close()
-				wal.Remove(jr.log.Dir())
-			}
-		}
-		if err != nil {
-			up.Release()
-			return nil, fmt.Errorf("serve: stream journal: %w", err)
-		}
-		s.met.walAppends.Add(1)
+	jr, err := s.openCreateJournal(id, spec)
+	if err != nil {
+		up.Release()
+		return nil, err
 	}
 	return s.registerStream(id, localWindow{up}, spec, false, jr), nil
+}
+
+// openCreateJournal journals a stream's creation before it becomes
+// visible: the create record (always LSN 1) is what recovery cold-starts
+// from when no snapshot has been written yet. Nil without a WAL config. A
+// journal failure aborts the create — a stream that cannot be made
+// durable must not accept events.
+func (s *Server) openCreateJournal(id string, spec grid.Spec) (*streamJournal, error) {
+	if s.cfg.WAL == nil {
+		return nil, nil
+	}
+	jr, _, err := s.openJournal(id)
+	if err == nil {
+		if _, err = jr.log.Append(wal.Record{Kind: wal.KindCreate, Spec: spec}); err == nil {
+			err = jr.log.Commit()
+		}
+		if err != nil {
+			jr.log.Close()
+			wal.Remove(jr.log.Dir())
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: stream journal: %w", err)
+	}
+	s.met.walAppends.Add(1)
+	return jr, nil
 }
 
 // registerStream binds a created window to the given stream id and a
@@ -394,7 +460,15 @@ const ingestChunk = 4096
 // every derived cache for the dataset (grids, exact-query indexes) is
 // invalidated under the stream lock. The commit barrier runs after the
 // last chunk, before the caller acks.
-func (s *Server) streamIngest(st *stream, pts []grid.Point) (total int, err error) {
+//
+// On a sharded window a down rank surfaces as *dist.DegradedError: the
+// mutation has committed on the coordinator (journal, live list, window
+// clock) and every healthy rank, and the failed rank will be rebuilt by
+// replay on reconnect — so the ingest is reported as a success with the
+// reduced coverage, not an error, and the client learns its events landed
+// on cov.Live of cov.Total slabs.
+func (s *Server) streamIngest(st *stream, pts []grid.Point) (total int, cov dist.Coverage, err error) {
+	cov = fullCoverage
 	for len(pts) > 0 {
 		n := len(pts)
 		if n > ingestChunk {
@@ -405,15 +479,20 @@ func (s *Server) streamIngest(st *stream, pts []grid.Point) (total int, err erro
 		st.mu.Lock()
 		if st.deleted {
 			st.mu.Unlock()
-			return total, errStreamDeleted
+			return total, cov, errStreamDeleted
 		}
 		if err := s.journalAppend(st, wal.Record{Kind: wal.KindIngest, Points: chunk}); err != nil {
 			st.mu.Unlock()
-			return total, err
+			return total, cov, err
 		}
 		if err := st.up.Add(chunk...); err != nil {
-			st.mu.Unlock()
-			return total, err
+			var de *dist.DegradedError
+			if !errors.As(err, &de) {
+				st.mu.Unlock()
+				return total, cov, err
+			}
+			cov = de.Coverage
+			s.met.shardDegraded.Add(1)
 		}
 		total = st.ds.appendPoints(chunk)
 		s.invalidateStream(st)
@@ -421,9 +500,9 @@ func (s *Server) streamIngest(st *stream, pts []grid.Point) (total int, err erro
 		st.mu.Unlock()
 	}
 	if err := s.journalCommit(st); err != nil {
-		return total, err
+		return total, cov, err
 	}
-	return total, nil
+	return total, cov, nil
 }
 
 // streamAdvance slides a stream's window forward to cover time t,
@@ -431,20 +510,28 @@ func (s *Server) streamIngest(st *stream, pts []grid.Point) (total int, err erro
 // when t is already covered; the advance is journaled either way —
 // replaying a covered-time advance is itself a no-op, and the uniform
 // record stream keeps the journal a faithful transcript of the calls.
-func (s *Server) streamAdvance(st *stream, t float64) (advanced, expired int, err error) {
+// Like streamIngest, a sharded *dist.DegradedError is a committed success
+// at reduced coverage.
+func (s *Server) streamAdvance(st *stream, t float64) (advanced, expired int, cov dist.Coverage, err error) {
+	cov = fullCoverage
 	st.mu.Lock()
 	if st.deleted {
 		st.mu.Unlock()
-		return 0, 0, errStreamDeleted
+		return 0, 0, cov, errStreamDeleted
 	}
 	if err := s.journalAppend(st, wal.Record{Kind: wal.KindAdvance, T: t}); err != nil {
 		st.mu.Unlock()
-		return 0, 0, err
+		return 0, 0, cov, err
 	}
 	advanced, expired, err = st.up.AdvanceTo(t)
 	if err != nil {
-		st.mu.Unlock()
-		return 0, 0, err
+		var de *dist.DegradedError
+		if !errors.As(err, &de) {
+			st.mu.Unlock()
+			return 0, 0, cov, err
+		}
+		cov = de.Coverage
+		s.met.shardDegraded.Add(1)
 	}
 	if advanced > 0 {
 		st.ds.replacePoints(st.up.Live())
@@ -453,9 +540,9 @@ func (s *Server) streamAdvance(st *stream, t float64) (advanced, expired int, er
 	}
 	st.mu.Unlock()
 	if err := s.journalCommit(st); err != nil {
-		return 0, 0, err
+		return 0, 0, cov, err
 	}
-	return advanced, expired, nil
+	return advanced, expired, cov, nil
 }
 
 // errStreamDeleted rejects operations racing a stream deletion.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/grid"
 	"repro/internal/wal"
 )
@@ -17,8 +18,12 @@ import (
 // — is journaled before it is applied and committed before the client is
 // acked, periodic checkpoints bound the replay a restart must do, and
 // Recover rebuilds every journaled stream before the daemon starts
-// serving. Only local streams are journaled: a sharded stream's window
-// lives in the rank processes, whose durability is their own concern.
+// serving. Sharded streams journal exactly like local ones (the
+// coordinator's mutation record is the source of truth that re-seeds a
+// reconnecting rank and survives a coordinator restart) but never
+// checkpoint: their window rings live in the rank processes, so there is
+// no local state to snapshot — recovery replays the full journal through
+// the cluster instead.
 
 // WALConfig enables durable streams: every local stream journals its
 // mutations under Dir and survives a crash via Server.Recover.
@@ -118,7 +123,7 @@ func (s *Server) journalCommit(st *stream) error {
 		return fmt.Errorf("serve: stream %s journal: %w", st.id, err)
 	}
 	st.mu.Lock()
-	due := jr.every > 0 && jr.since >= jr.every
+	due := !st.sharded && jr.every > 0 && jr.since >= jr.every
 	st.mu.Unlock()
 	if due {
 		if err := s.checkpointStream(st); err != nil {
@@ -282,8 +287,21 @@ func (s *Server) Recover() (RecoverStats, error) {
 // charged to the cache budget with the same evict-retry loop
 // createStream uses, but not the half-budget pinned cap: these streams
 // were already admitted before the crash.
+//
+// On a shard-configured server a journal without a snapshot is a sharded
+// stream's (sharded journals never checkpoint): the stream is re-created
+// across the rank cluster and the journal replays through it. A journal
+// WITH a snapshot predates the shard configuration and restores locally
+// as before.
 func (s *Server) recoverStream(id string, jr *streamJournal, rec wal.Recovered) (*stream, int, error) {
 	tail := rec.Tail
+	if rec.Snapshot == nil {
+		if cl, err := s.shardCluster(); err != nil {
+			return nil, 0, err
+		} else if cl != nil {
+			return s.recoverShardStream(id, cl, jr, tail)
+		}
+	}
 	var ringBytes int64
 	if rec.Snapshot != nil {
 		ringBytes = rec.Snapshot.Grid.Spec.Bytes()
@@ -342,6 +360,54 @@ func (s *Server) recoverStream(id string, jr *streamJournal, rec wal.Recovered) 
 	base.OT = 0
 	st := s.registerStream(id, localWindow{up}, base, false, jr)
 	st.ds.replacePoints(up.Live())
+	return st, replayed, nil
+}
+
+// recoverShardStream rebuilds a sharded stream by re-creating it on the
+// rank cluster and replaying the coordinator's journal through the same
+// Add/AdvanceTo paths live traffic uses — the identical deterministic
+// replay that re-seeds one rank after a reconnect, here applied to the
+// whole cluster after a coordinator restart. A rank that is down during
+// replay degrades the mutation but does not fail recovery: the
+// coordinator's record stays authoritative and the rank re-seeds from it
+// when it heals.
+func (s *Server) recoverShardStream(id string, cl *dist.Cluster, jr *streamJournal, tail []wal.Record) (*stream, int, error) {
+	if len(tail) == 0 || tail[0].Kind != wal.KindCreate || tail[0].LSN != 1 {
+		return nil, 0, fmt.Errorf("journal has no snapshot and no create record")
+	}
+	sg, err := cl.NewStream(tail[0].Spec, s.cfg.Threads)
+	if err != nil {
+		return nil, 0, err
+	}
+	replayed := 0
+	for _, r := range tail {
+		var err error
+		switch r.Kind {
+		case wal.KindCreate:
+			if r.LSN != 1 {
+				sg.Release()
+				return nil, 0, fmt.Errorf("create record at LSN %d (journal corrupt)", r.LSN)
+			}
+		case wal.KindIngest:
+			err = sg.Add(r.Points...)
+			replayed++
+		case wal.KindAdvance:
+			_, _, err = sg.AdvanceTo(r.T)
+			replayed++
+		}
+		if err != nil {
+			var de *dist.DegradedError
+			if !errors.As(err, &de) {
+				sg.Release()
+				return nil, 0, err
+			}
+			s.met.shardDegraded.Add(1)
+		}
+	}
+	base := sg.Spec()
+	base.OT = 0
+	st := s.registerStream(id, sg, base, true, jr)
+	st.ds.replacePoints(sg.Live())
 	return st, replayed, nil
 }
 

@@ -69,9 +69,9 @@ func applyWalOps(t *testing.T, s *Server, st *stream, ops []walOp, upto int) {
 		var err error
 		switch ops[i].kind {
 		case wal.KindIngest:
-			_, err = s.streamIngest(st, ops[i].pts)
+			_, _, err = s.streamIngest(st, ops[i].pts)
 		case wal.KindAdvance:
-			_, _, err = s.streamAdvance(st, ops[i].t)
+			_, _, _, err = s.streamAdvance(st, ops[i].t)
 		}
 		if err != nil {
 			t.Fatalf("op %d (%v): %v", i, ops[i].kind, err)
@@ -378,7 +378,7 @@ func TestWALDeleteTearsDownJournal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.streamIngest(st1, streamEvents(50, 5, 1)); err != nil {
+	if _, _, err := a.streamIngest(st1, streamEvents(50, 5, 1)); err != nil {
 		t.Fatal(err)
 	}
 	st2, err := a.createStream(spec)

@@ -100,7 +100,41 @@ type (
 	// RankError attributes a distributed failure to a rank and a protocol
 	// phase (dial, scatter, estimate, gather, ingest, advance, query, ...).
 	RankError = dist.RankError
+
+	// ShardTimeouts bounds cluster dialing, per-RPC exchanges, and
+	// heartbeat pings; zero fields take the defaults (5s / 30s / 1s).
+	ShardTimeouts = dist.Timeouts
+	// ShardGatherPolicy selects how sharded analytics behave when a rank
+	// is down: merge the live ranks and report coverage, or fail fast.
+	ShardGatherPolicy = dist.GatherPolicy
+	// ShardCoverage reports how many slab ranks contributed to an answer.
+	ShardCoverage = dist.Coverage
+	// ShardDegradedError reports a mutation that committed everywhere but
+	// on at least one failed rank (rebuilt by replay when it heals).
+	ShardDegradedError = dist.DegradedError
+	// ShardRankHealth is one rank's externally visible health snapshot.
+	ShardRankHealth = dist.RankHealth
 )
+
+// Gather policies for ShardServeConfig.Policy / -shard-degraded.
+const (
+	// ShardGatherPartial (default) merges the live ranks' sketches and
+	// reports the reduced coverage alongside the answer.
+	ShardGatherPartial = dist.GatherPartial
+	// ShardGatherFailFast refuses degraded answers: any down rank fails
+	// the query with its attributed RankError.
+	ShardGatherFailFast = dist.GatherFailFast
+)
+
+// ErrShardRankDown marks an operation refused because its target rank is
+// not currently healthy; always wrapped in a RankError. Test with
+// errors.Is.
+var ErrShardRankDown = dist.ErrRankDown
+
+// ParseShardGatherPolicy parses "partial" or "failfast" ("" = partial).
+func ParseShardGatherPolicy(s string) (ShardGatherPolicy, error) {
+	return dist.ParseGatherPolicy(s)
+}
 
 // NewShardNetwork creates a transport multiplexer for shard endpoints.
 func NewShardNetwork() *ShardNetwork { return dist.NewNetwork() }
